@@ -1,0 +1,78 @@
+// Experiment 1 (Fig. 5): query optimisation on flat data.
+//
+// For schemas with A = 40 attributes over R = 1..8 relations and queries of
+// K = 1..9 random non-redundant equalities, measure (left plot) the time to
+// find an optimal f-tree for the query result by exhaustive search and
+// (right plot) the cost s(T) of that optimal f-tree.
+//
+// Paper claims reproduced here: optimisation finishes in well under a
+// second except at the largest K; the optimal cost is 1 for R <= 2 and
+// almost always at most 2 even for 9 equalities over 8 relations.
+//
+// Environment knobs: FDB_EXP1_REPS (default 3), FDB_EXP1_MAXK (default 9).
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util/report.h"
+#include "bench_util/workload.h"
+#include "common/timer.h"
+#include "opt/ftree_search.h"
+
+namespace fdb {
+namespace {
+
+int EnvInt(const char* name, int def) {
+  const char* s = std::getenv(name);
+  return s != nullptr && std::atoi(s) > 0 ? std::atoi(s) : def;
+}
+
+void Run() {
+  const int kAttrs = 40;
+  const int reps = EnvInt("FDB_EXP1_REPS", 3);
+  const int max_k = EnvInt("FDB_EXP1_MAXK", 9);
+
+  Banner(std::cout,
+         "Figure 5: optimal f-tree search on flat data (A=40 attributes)");
+  Table table({"R", "K", "opt time [s]", "cost s(T)", "explored"});
+
+  for (int r = 1; r <= 8; ++r) {
+    for (int k = 1; k <= max_k; ++k) {
+      double total_time = 0.0, total_cost = 0.0;
+      uint64_t total_explored = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        WorkloadSpec spec;
+        spec.num_rels = r;
+        spec.num_attrs = kAttrs;
+        spec.tuples_per_rel = 1;  // data is irrelevant for optimisation
+        spec.num_equalities = k;
+        spec.seed = static_cast<uint64_t>(1000 * r + 10 * k + rep);
+        BenchInstance inst = MakeBenchInstance(spec);
+        QueryInfo info = AnalyzeQuery(inst.db->catalog(), inst.query);
+
+        EdgeCoverSolver solver;
+        Timer t;
+        FTreeSearchResult res = FindOptimalFTree(info, solver);
+        total_time += t.Seconds();
+        total_cost += res.cost;
+        total_explored += res.explored;
+      }
+      table.AddRow({FmtInt(static_cast<uint64_t>(r)),
+                    FmtInt(static_cast<uint64_t>(k)),
+                    FmtDouble(total_time / reps, 5),
+                    FmtDouble(total_cost / reps, 3),
+                    FmtInt(total_explored / static_cast<uint64_t>(reps))});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape check: cost is 1.0 for R<=2; typically <=2 "
+               "elsewhere; time grows exponentially with K but stays "
+               "sub-second for K<8.\n";
+}
+
+}  // namespace
+}  // namespace fdb
+
+int main() {
+  fdb::Run();
+  return 0;
+}

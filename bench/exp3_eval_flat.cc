@@ -1,0 +1,157 @@
+// Experiment 3 (Fig. 7): query evaluation on flat relational data.
+//
+// Three panels, as in the paper:
+//  (a) 3 ternary relations of N = 1k..100k tuples, values uniform in
+//      [1..100], K = 2..4 equalities — result sizes and evaluation times;
+//  (b) the same with Zipf-distributed values;
+//  (c) the combinatorial data set: two binary relations of 8^2 = 64 tuples
+//      and two ternary relations of 8^3 = 512 tuples, values in [1..20],
+//      K = 1..8, uniform and Zipf.
+//
+// Engines: FDB (optimal f-tree + grounding, factorised result), RDB
+// (sort-merge baseline, flat result) and VDB (Volcano-style engine standing
+// in for SQLite/PostgreSQL, see DESIGN.md §5). Baselines run under a
+// timeout and a row cap; exceeded runs print "t/o" — the paper's plots have
+// the same missing points at a 100 s timeout.
+//
+// Sizes are "# of data elements": singletons for FDB, tuples x arity for
+// the flat engines.
+//
+// Knobs: FDB_BENCH_TIMEOUT (seconds, default 10), FDB_BENCH_FULL=1 extends
+// panel a/b to N = 100000, FDB_EXP3_CAP (row cap, default 5e6).
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util/report.h"
+#include "bench_util/workload.h"
+#include "common/timer.h"
+#include "core/ground.h"
+#include "opt/ftree_search.h"
+
+namespace fdb {
+namespace {
+
+size_t EnvSize(const char* name, size_t def) {
+  const char* s = std::getenv(name);
+  return s != nullptr && std::atoll(s) > 0 ? static_cast<size_t>(std::atoll(s))
+                                           : def;
+}
+
+struct EngineRow {
+  double fdb_size = 0, fdb_time = 0;
+  double rdb_size = 0, rdb_time = 0;
+  bool rdb_timeout = false;
+  double vdb_time = 0;
+  bool vdb_timeout = false;
+};
+
+EngineRow RunOnce(BenchInstance& inst) {
+  EngineRow row;
+  Engine engine(inst.db.get());
+
+  Timer tf;
+  FdbResult fdb = engine.EvaluateFlat(inst.query);
+  row.fdb_time = tf.Seconds();
+  row.fdb_size = static_cast<double>(fdb.NumSingletons());
+
+  RdbOptions ropts;
+  ropts.timeout_seconds = BenchTimeout();
+  ropts.max_result_tuples = EnvSize("FDB_EXP3_CAP", 5'000'000);
+  ropts.deduplicate = false;
+  Timer tr;
+  RdbResult rdb = engine.ExecuteRdb(inst.query, ropts);
+  row.rdb_time = tr.Seconds();
+  row.rdb_timeout = rdb.timed_out;
+  row.rdb_size = static_cast<double>(rdb.NumDataElements());
+
+  VdbOptions vopts;
+  vopts.timeout_seconds = BenchTimeout();
+  vopts.max_result_tuples = ropts.max_result_tuples;
+  vopts.deduplicate = false;
+  Timer tv;
+  VdbResult vdb = engine.ExecuteVdb(inst.query, vopts);
+  row.vdb_time = tv.Seconds();
+  row.vdb_timeout = vdb.timed_out;
+  return row;
+}
+
+std::string Maybe(double v, bool timeout, bool sci = true) {
+  if (timeout) return "t/o";
+  return sci ? FmtSci(v) : FmtSecs(v);
+}
+
+void PanelAB(Distribution dist) {
+  Banner(std::cout,
+         std::string("Figure 7 (") +
+             (dist == Distribution::kUniform ? "left" : "middle") +
+             "): 3 ternary relations, values " + DistributionName(dist) +
+             " over [1..100]");
+  Table table({"N", "K", "FDB size", "RDB size", "FDB time", "RDB time",
+               "VDB time"});
+  std::vector<size_t> sizes{1000, 3162, 10000, 31623};
+  if (std::getenv("FDB_BENCH_FULL") != nullptr) sizes.push_back(100000);
+  for (size_t n : sizes) {
+    for (int k = 2; k <= 4; ++k) {
+      WorkloadSpec spec;
+      spec.num_rels = 3;
+      spec.num_attrs = 9;
+      spec.tuples_per_rel = static_cast<size_t>(
+          static_cast<double>(n) * BenchScale());
+      spec.domain = 100;
+      spec.dist = dist;
+      spec.num_equalities = k;
+      spec.seed = static_cast<uint64_t>(n + static_cast<size_t>(k));
+      BenchInstance inst = MakeBenchInstance(spec);
+      EngineRow row = RunOnce(inst);
+      table.AddRow({FmtInt(n), FmtInt(static_cast<uint64_t>(k)),
+                    FmtSci(row.fdb_size),
+                    Maybe(row.rdb_size, row.rdb_timeout),
+                    FmtSecs(row.fdb_time),
+                    Maybe(row.rdb_time, row.rdb_timeout, false),
+                    Maybe(row.vdb_time, row.vdb_timeout, false)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void PanelC(Distribution dist) {
+  Banner(std::cout,
+         std::string("Figure 7 (right): combinatorial data, R=4 "
+                     "(2 binary x64, 2 ternary x512), values ") +
+             DistributionName(dist) + " over [1..20]");
+  Table table({"K", "FDB size", "RDB size", "FDB time", "RDB time",
+               "VDB time"});
+  for (int k = 1; k <= 8; ++k) {
+    BenchInstance inst = MakeHeterogeneousInstance(
+        {2, 2, 3, 3}, {64, 64, 512, 512}, 20, dist, 1.0, k,
+        static_cast<uint64_t>(7000 + k));
+    EngineRow row = RunOnce(inst);
+    table.AddRow({FmtInt(static_cast<uint64_t>(k)), FmtSci(row.fdb_size),
+                  Maybe(row.rdb_size, row.rdb_timeout),
+                  FmtSecs(row.fdb_time),
+                  Maybe(row.rdb_time, row.rdb_timeout, false),
+                  Maybe(row.vdb_time, row.vdb_timeout, false)});
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  PanelAB(Distribution::kUniform);
+  PanelAB(Distribution::kZipf);
+  PanelC(Distribution::kUniform);
+  PanelC(Distribution::kZipf);
+  std::cout << "\nPaper shape check: factorised sizes are orders of "
+               "magnitude below flat sizes and both follow power laws in N "
+               "(smaller exponent for FDB); evaluation times track result "
+               "sizes; flat engines hit the timeout where the paper's "
+               "plots have missing points; VDB tracks RDB with a constant "
+               "interpretation overhead (the SQLite/PostgreSQL role).\n";
+}
+
+}  // namespace
+}  // namespace fdb
+
+int main() {
+  fdb::Run();
+  return 0;
+}

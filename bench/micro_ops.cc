@@ -1,0 +1,171 @@
+// Micro-benchmarks (ablations) for the operator kernels and substrates:
+// grounding throughput, the swap operator's priority-queue regrouping,
+// merge, normalisation, constant-delay enumeration, the edge-cover LP with
+// and without the memo cache, and the two optimisers. These isolate the
+// design choices DESIGN.md calls out (arena-backed unions, LP memoisation,
+// bottleneck Dijkstra vs greedy).
+#include <benchmark/benchmark.h>
+
+#include "bench_util/workload.h"
+#include "core/enumerate.h"
+#include "core/ground.h"
+#include "core/ops.h"
+#include "lp/edge_cover.h"
+#include "opt/fplan_search.h"
+#include "opt/ftree_search.h"
+#include "opt/greedy.h"
+
+namespace fdb {
+namespace {
+
+Relation RandomRelation(std::vector<AttrId> schema, size_t rows,
+                        int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  Relation r(std::move(schema));
+  std::vector<Value> t(r.arity());
+  for (size_t i = 0; i < rows; ++i) {
+    for (Value& v : t) v = rng.Uniform(1, domain);
+    r.AddTuple(t);
+  }
+  return r;
+}
+
+void BM_GroundRelation(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Relation r = RandomRelation({0, 1, 2}, n, 100, 1);
+  for (auto _ : state) {
+    FRep rep = GroundRelation(r, 0);
+    benchmark::DoNotOptimize(rep.NumValues());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GroundRelation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Swap(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Relation r = RandomRelation({0, 1}, n, 1000, 2);
+  FRep rep = GroundRelation(r, 0);
+  for (auto _ : state) {
+    FRep sw = Swap(rep, 0, 1);
+    benchmark::DoNotOptimize(sw.NumValues());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rep.NumValues()));
+}
+BENCHMARK(BM_Swap)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Merge(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Relation r = RandomRelation({0}, n, static_cast<int64_t>(n), 3);
+  Relation s = RandomRelation({1, 2}, n, static_cast<int64_t>(n), 4);
+  FRep prod = Product(GroundRelation(r, 0), GroundRelation(s, 1));
+  for (auto _ : state) {
+    FRep m = Merge(prod, 0, 1);
+    benchmark::DoNotOptimize(m.empty());
+  }
+}
+BENCHMARK(BM_Merge)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Normalize(benchmark::State& state) {
+  // Product data nested as a chain: normalisation must hoist it apart.
+  size_t n = static_cast<size_t>(state.range(0));
+  Relation r = RandomRelation({0}, n, static_cast<int64_t>(4 * n), 5);
+  Relation s = RandomRelation({1}, n, static_cast<int64_t>(4 * n), 6);
+  FTree t;
+  int n0 = t.NewNode(AttrSet::Of({0}), AttrSet::Of({0}), RelSet::Of({0}),
+                     RelSet::Of({0}));
+  int n1 = t.NewNode(AttrSet::Of({1}), AttrSet::Of({1}), RelSet::Of({1}),
+                     RelSet::Of({1}));
+  t.AttachRoot(n0);
+  t.AttachChild(n0, n1);
+  FRep rep = GroundQuery(t, {&r, &s});
+  for (auto _ : state) {
+    FRep norm = Normalize(rep);
+    benchmark::DoNotOptimize(norm.NumValues());
+  }
+}
+BENCHMARK(BM_Normalize)->Arg(100)->Arg(1000);
+
+void BM_Enumerate(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Relation r = RandomRelation({0, 1, 2}, n, 50, 7);
+  FRep rep = GroundRelation(r, 0);
+  for (auto _ : state) {
+    TupleEnumerator en(rep);
+    size_t count = 0;
+    while (en.Next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Enumerate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EdgeCoverColdCache(benchmark::State& state) {
+  // Fresh solver per iteration: every path instance solved by simplex.
+  std::vector<uint64_t> masks{0b0011, 0b0110, 0b1100, 0b1001, 0b0101};
+  for (auto _ : state) {
+    EdgeCoverSolver solver;
+    benchmark::DoNotOptimize(solver.Solve(masks));
+  }
+}
+BENCHMARK(BM_EdgeCoverColdCache);
+
+void BM_EdgeCoverWarmCache(benchmark::State& state) {
+  std::vector<uint64_t> masks{0b0011, 0b0110, 0b1100, 0b1001, 0b0101};
+  EdgeCoverSolver solver;
+  solver.Solve(masks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(masks));
+  }
+}
+BENCHMARK(BM_EdgeCoverWarmCache);
+
+void BM_FTreeSearch(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  WorkloadSpec spec;
+  spec.num_rels = 6;
+  spec.num_attrs = 24;
+  spec.tuples_per_rel = 1;
+  spec.num_equalities = k;
+  spec.seed = 1234;
+  BenchInstance inst = MakeBenchInstance(spec);
+  QueryInfo info = AnalyzeQuery(inst.db->catalog(), inst.query);
+  for (auto _ : state) {
+    EdgeCoverSolver solver;
+    benchmark::DoNotOptimize(FindOptimalFTree(info, solver).cost);
+  }
+}
+BENCHMARK(BM_FTreeSearch)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_FPlanSearchVsGreedy(benchmark::State& state) {
+  bool greedy = state.range(0) != 0;
+  WorkloadSpec spec;
+  spec.num_rels = 4;
+  spec.num_attrs = 10;
+  spec.tuples_per_rel = 1;
+  spec.num_equalities = 3;
+  spec.seed = 555;
+  BenchInstance inst = MakeBenchInstance(spec);
+  QueryInfo info = AnalyzeQuery(inst.db->catalog(), inst.query);
+  EdgeCoverSolver solver;
+  FTree base = FindOptimalFTree(info, solver).tree;
+  Rng rng(99);
+  auto extra = DrawExtraEqualities(info.classes, 3, rng);
+  for (auto _ : state) {
+    EdgeCoverSolver s2;
+    if (greedy) {
+      benchmark::DoNotOptimize(GreedyFPlan(base, extra, s2).plan.cost_max_s);
+    } else {
+      benchmark::DoNotOptimize(
+          FindOptimalFPlan(base, extra, s2).plan.cost_max_s);
+    }
+  }
+}
+BENCHMARK(BM_FPlanSearchVsGreedy)
+    ->Arg(0)   // full search
+    ->Arg(1);  // greedy
+
+}  // namespace
+}  // namespace fdb

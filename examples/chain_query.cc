@@ -1,0 +1,65 @@
+// Example 6 of the paper: chain queries and the exponential gap.
+//
+// Q_n = sigma_{B_1=A_2 and ... and B_{n-1}=A_n} (R_1 x ... x R_n) over
+// relations R_i(A_i, B_i). The flat result can reach |D|^Theta(n) tuples,
+// while s(Q_n) = Theta(log n): factorised results stay polynomial. This
+// example evaluates chains of growing length over small random relations
+// and prints flat vs factorised sizes side by side.
+//
+//   $ ./build/examples/chain_query
+#include <iomanip>
+#include <iostream>
+
+#include "api/database.h"
+#include "api/engine.h"
+#include "common/rng.h"
+
+using namespace fdb;
+
+int main() {
+  std::cout << "chain query Q_n: R_1(A_1,B_1) |x| ... |x| R_n(A_n,B_n), "
+               "B_i = A_{i+1}\n"
+            << "relations: 40 tuples each, values in [1..8]\n\n";
+  std::cout << std::left << std::setw(4) << "n" << std::setw(10) << "s(Q_n)"
+            << std::setw(16) << "flat tuples" << std::setw(18)
+            << "flat elements" << std::setw(16) << "FDB singletons"
+            << "gap\n";
+
+  for (int n = 2; n <= 7; ++n) {
+    Database db;
+    Rng rng(static_cast<uint64_t>(n) * 17);
+    Query q;
+    for (int i = 0; i < n; ++i) {
+      RelId rid = db.CreateRelation(
+          "R" + std::to_string(i),
+          {"A" + std::to_string(i), "B" + std::to_string(i)});
+      Relation& rel = db.relation(rid);
+      for (int row = 0; row < 40; ++row) {
+        rel.AddTuple({rng.Uniform(1, 8), rng.Uniform(1, 8)});
+      }
+      q.rels.push_back(rid);
+      if (i > 0) {
+        q.equalities.emplace_back(db.Attr("B" + std::to_string(i - 1)),
+                                  db.Attr("A" + std::to_string(i)));
+      }
+    }
+
+    Engine engine(&db);
+    FdbResult fdb = engine.EvaluateFlat(q);
+    double flat_tuples = fdb.FlatTuples();  // counted, never materialised
+    double flat_elements = flat_tuples * (2.0 * n);
+    double singletons = static_cast<double>(fdb.NumSingletons());
+
+    std::cout << std::left << std::setw(4) << n << std::setw(10)
+              << fdb.plan.result_s << std::setw(16) << flat_tuples
+              << std::setw(18) << flat_elements << std::setw(16) << singletons
+              << std::fixed << std::setprecision(1)
+              << flat_elements / singletons << "x\n"
+              << std::defaultfloat << std::setprecision(6);
+  }
+
+  std::cout << "\nThe factorised size grows polynomially (s(Q_n) = "
+               "Theta(log n)) while the flat result grows exponentially "
+               "with the chain length.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// One-to-many joins (the paper's §5 TPC-H remark): with key/foreign-key
+// joins the result size is linear in the input, so factorisation buys a
+// small constant factor (about the number of relations), not orders of
+// magnitude. This example builds a Customer <- Orders <- Lineitem chain and
+// prints the sizes side by side, contrasting it with a many-to-many join on
+// the same data.
+//
+//   $ ./build/examples/one_to_many
+#include <iostream>
+
+#include "api/database.h"
+#include "api/engine.h"
+#include "common/rng.h"
+
+using namespace fdb;
+
+int main() {
+  Database db;
+  Rng rng(4242);
+  const int64_t customers = 50, orders = 200, lineitems = 1000;
+
+  RelId c = db.CreateRelation("Customer", {"ck", "nation"});
+  RelId o = db.CreateRelation("Orders", {"ok", "o_ck", "priority"});
+  RelId l = db.CreateRelation("Lineitem", {"lk", "l_ok", "qty"});
+  for (int64_t i = 1; i <= customers; ++i) {
+    db.relation(c).AddTuple({i, rng.Uniform(1, 25)});
+  }
+  for (int64_t i = 1; i <= orders; ++i) {
+    db.relation(o).AddTuple({i, rng.Uniform(1, customers), rng.Uniform(1, 5)});
+  }
+  for (int64_t i = 1; i <= lineitems; ++i) {
+    db.relation(l).AddTuple({i, rng.Uniform(1, orders), rng.Uniform(1, 50)});
+  }
+
+  Engine engine(&db);
+
+  // Key/foreign-key chain: one-to-many joins, linear result.
+  Query kfk;
+  kfk.rels = {c, o, l};
+  kfk.equalities = {{db.Attr("ck"), db.Attr("o_ck")},
+                    {db.Attr("ok"), db.Attr("l_ok")}};
+  FdbResult fdb1 = engine.EvaluateFlat(kfk);
+  RdbResult rdb1 = engine.ExecuteRdb(kfk);
+  std::cout << "key/foreign-key chain Customer |x| Orders |x| Lineitem:\n"
+            << "  flat:       " << rdb1.NumTuples() << " tuples = "
+            << rdb1.NumDataElements() << " data elements\n"
+            << "  factorised: " << fdb1.NumSingletons() << " singletons ("
+            << static_cast<double>(rdb1.NumDataElements()) /
+                   static_cast<double>(fdb1.NumSingletons())
+            << "x smaller — roughly the number of relations)\n\n";
+
+  // Many-to-many join on non-key attributes: the factorisation gap opens.
+  Query m2m;
+  m2m.rels = {c, o, l};
+  m2m.equalities = {{db.Attr("nation"), db.Attr("priority")},
+                    {db.Attr("priority"), db.Attr("qty")}};
+  FdbResult fdb2 = engine.EvaluateFlat(m2m);
+  RdbResult rdb2 = engine.ExecuteRdb(m2m);
+  std::cout << "many-to-many join on nation = priority = qty:\n"
+            << "  flat:       " << rdb2.NumTuples() << " tuples = "
+            << rdb2.NumDataElements() << " data elements\n"
+            << "  factorised: " << fdb2.NumSingletons() << " singletons ("
+            << static_cast<double>(rdb2.NumDataElements()) /
+                   static_cast<double>(fdb2.NumSingletons())
+            << "x smaller)\n\n";
+  std::cout << "One-to-many joins gain a constant factor; many-to-many "
+               "joins gain orders of magnitude (cf. Fig. 7 vs the TPC-H "
+               "remark in §5).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: create a database, run a join query, inspect the factorised
+// result and stream its tuples.
+//
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "api/database.h"
+#include "api/engine.h"
+#include "core/enumerate.h"
+#include "core/print.h"
+
+int main() {
+  using namespace fdb;
+
+  // 1. Declare relations; ":str" marks dictionary-encoded string columns.
+  Database db;
+  RelId orders = db.CreateRelation("Orders", {"oid", "item:str"});
+  RelId stock = db.CreateRelation("Stock", {"sitem:str", "warehouse:str"});
+
+  db.Insert(orders, {int64_t{1}, "Milk"});
+  db.Insert(orders, {int64_t{1}, "Cheese"});
+  db.Insert(orders, {int64_t{2}, "Milk"});
+  db.Insert(stock, {"Milk", "North"});
+  db.Insert(stock, {"Milk", "South"});
+  db.Insert(stock, {"Cheese", "South"});
+
+  // 2. Run an SPJ query. FDB finds an optimal factorisation tree for the
+  //    result and computes it directly in factorised form.
+  Engine engine(&db);
+  FdbResult res = engine.Execute(
+      "SELECT * FROM Orders, Stock WHERE item = sitem");
+
+  // 3. Inspect the factorised result.
+  PrintOptions opts;
+  opts.catalog = &db.catalog();
+  opts.dict = &db.dict();
+  std::cout << "factorised result:\n  " << ToExpressionString(res.rep, opts)
+            << "\n\n";
+  std::cout << "singletons: " << res.NumSingletons()
+            << "   flat tuples: " << res.FlatTuples()
+            << "   s(T) of the result: " << res.plan.result_s << "\n\n";
+  std::cout << "f-tree of the result:\n"
+            << res.rep.tree().ToString(&db.catalog()) << "\n";
+
+  // 4. Stream the tuples (constant-delay enumeration).
+  AttrId oid = db.Attr("oid"), item = db.Attr("item"), wh = db.Attr("warehouse");
+  TupleEnumerator en(res.rep);
+  std::cout << "tuples:\n";
+  while (en.Next()) {
+    std::cout << "  oid=" << en.ValueOf(oid)
+              << " item=" << db.dict().Decode(en.ValueOf(item))
+              << " warehouse=" << db.dict().Decode(en.ValueOf(wh)) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// SQL demo: load relations from CSV files, run SPJ SQL against FDB and the
+// two baseline engines, and compare result shapes.
+//
+//   $ ./build/examples/sql_demo [data_dir]
+//
+// Without arguments the example writes its own small CSV files to /tmp and
+// loads them back, exercising the full text -> dictionary -> factorised
+// pipeline.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "api/database.h"
+#include "api/engine.h"
+#include "core/print.h"
+
+using namespace fdb;
+
+namespace {
+
+std::string WriteTempCsv(const std::string& name, const std::string& body) {
+  std::string path = "/tmp/fdb_sql_demo_" + name + ".csv";
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  if (argc > 1) {
+    std::string dir = argv[1];
+    db.LoadCsv(dir + "/orders.csv", "Orders");
+    db.LoadCsv(dir + "/stock.csv", "Stock");
+  } else {
+    db.LoadCsv(WriteTempCsv("orders",
+                            "oid,item:str\n"
+                            "1,Milk\n1,Cheese\n2,Melon\n3,Cheese\n3,Melon\n"),
+               "Orders");
+    db.LoadCsv(WriteTempCsv("stock",
+                            "sitem:str,warehouse:str,qty\n"
+                            "Milk,North,10\nMilk,South,4\nCheese,South,7\n"
+                            "Melon,North,2\nMelon,South,5\n"),
+               "Stock");
+  }
+
+  Engine engine(&db);
+  const std::string sql =
+      "SELECT oid, item, warehouse FROM Orders, Stock "
+      "WHERE item = sitem AND qty >= 4";
+  std::cout << "SQL> " << sql << "\n\n";
+
+  FdbResult res = engine.Execute(sql);
+  PrintOptions opts;
+  opts.catalog = &db.catalog();
+  opts.dict = &db.dict();
+  std::cout << "FDB factorised result (" << res.NumSingletons()
+            << " singletons, " << res.FlatTuples() << " tuples):\n  "
+            << ToExpressionString(res.rep, opts) << "\n\n";
+
+  Query q = engine.Parse(sql);
+  RdbResult rdb = engine.ExecuteRdb(q);
+  VdbResult vdb = engine.ExecuteVdb(q);
+  std::cout << "RDB flat result: " << rdb.NumTuples() << " tuples ("
+            << rdb.NumDataElements() << " data elements)\n";
+  std::cout << "VDB flat result: " << vdb.NumTuples() << " tuples\n";
+  return 0;
+}

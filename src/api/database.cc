@@ -1,0 +1,69 @@
+#include "api/database.h"
+
+#include "common/str.h"
+
+namespace fdb {
+
+RelId Database::CreateRelation(const std::string& name,
+                               const std::vector<std::string>& column_specs) {
+  std::vector<AttrId> attrs;
+  for (const std::string& spec : column_specs) {
+    bool is_string = false;
+    std::string attr_name = spec;
+    if (auto p = spec.rfind(":str");
+        p != std::string::npos && p == spec.size() - 4) {
+      is_string = true;
+      attr_name = spec.substr(0, p);
+    }
+    int existing = catalog_.FindAttribute(attr_name);
+    if (existing >= 0) {
+      attrs.push_back(static_cast<AttrId>(existing));
+    } else {
+      attrs.push_back(catalog_.AddAttribute(attr_name, is_string));
+    }
+  }
+  RelId id = catalog_.AddRelation(name, attrs);
+  relations_.emplace_back(attrs);
+  return id;
+}
+
+void Database::Insert(RelId rel, const std::vector<Cell>& row) {
+  Relation& r = relations_.at(rel);
+  FDB_CHECK_MSG(row.size() == r.arity(), "row arity mismatch");
+  std::vector<Value> tuple(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    const AttrInfo& info = catalog_.attr(r.schema()[c]);
+    if (std::holds_alternative<int64_t>(row[c])) {
+      FDB_CHECK_MSG(!info.is_string,
+                    "integer supplied for string column " + info.name);
+      tuple[c] = std::get<int64_t>(row[c]);
+    } else {
+      FDB_CHECK_MSG(info.is_string,
+                    "string supplied for integer column " + info.name);
+      tuple[c] = dict_.Intern(std::get<std::string>(row[c]));
+    }
+  }
+  r.AddTuple(tuple);
+}
+
+RelId Database::LoadCsv(const std::string& path, const std::string& rel_name,
+                        char sep) {
+  relations_.push_back(ReadCsvFile(path, rel_name, sep, &catalog_, &dict_));
+  return static_cast<RelId>(relations_.size()) - 1;
+}
+
+std::vector<const Relation*> Database::RelationPtrs(
+    const std::vector<RelId>& rels) const {
+  std::vector<const Relation*> out;
+  out.reserve(rels.size());
+  for (RelId r : rels) out.push_back(&relations_.at(r));
+  return out;
+}
+
+AttrId Database::Attr(const std::string& name) const {
+  int id = catalog_.FindAttribute(name);
+  FDB_CHECK_MSG(id >= 0, "unknown attribute: " + name);
+  return static_cast<AttrId>(id);
+}
+
+}  // namespace fdb

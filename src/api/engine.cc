@@ -1,0 +1,97 @@
+#include "api/engine.h"
+
+#include "common/timer.h"
+#include "sql/parser.h"
+
+namespace fdb {
+
+FTreeSearchResult Engine::OptimizeFlat(const Query& q) {
+  QueryInfo info = AnalyzeQuery(db_->catalog(), q);
+  return FindOptimalFTree(info, solver_);
+}
+
+FdbResult Engine::EvaluateFlat(const Query& q) {
+  QueryInfo info = AnalyzeQuery(db_->catalog(), q);
+
+  Timer opt_timer;
+  FTreeSearchResult t = FindOptimalFTree(info, solver_);
+  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0};
+  res.optimize_seconds = opt_timer.Seconds();
+
+  Timer eval_timer;
+  std::vector<const Relation*> rels = db_->RelationPtrs(q.rels);
+  FRep rep = GroundQuery(t.tree, rels, q.const_preds);
+  if (info.projection != info.all_attrs) {
+    rep = Project(rep, info.projection);
+    res.plan.steps.push_back(PlanStep::MakeProject(info.projection));
+  }
+  res.evaluate_seconds = eval_timer.Seconds();
+  res.plan.result_s = rep.tree().Cost(solver_);
+  res.rep = std::move(rep);
+  return res;
+}
+
+FPlanSearchResult Engine::OptimizeOnTree(
+    const FTree& tree, const std::vector<std::pair<AttrId, AttrId>>& eqs) {
+  FPlanSearchOptions so = opts_.search;
+  so.mode = opts_.cost_mode;
+  return opts_.greedy_optimizer ? GreedyFPlan(tree, eqs, solver_, so)
+                                : FindOptimalFPlan(tree, eqs, solver_, so);
+}
+
+FdbResult Engine::EvaluateOnFRep(
+    const FRep& in, const std::vector<std::pair<AttrId, AttrId>>& eqs,
+    const std::vector<ConstPred>& preds, AttrSet projection) {
+  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0};
+
+  Timer opt_timer;
+  // Constant selections are cheapest and run first (§4); they do not change
+  // class structure, so the plan can be optimised on the input tree.
+  FPlanSearchResult search = OptimizeOnTree(in.tree(), eqs);
+  res.optimize_seconds = opt_timer.Seconds();
+
+  FPlan full;
+  for (const ConstPred& p : preds) {
+    full.steps.push_back(PlanStep::MakeSelectConst(p.attr, p.op, p.value));
+  }
+  full.steps.insert(full.steps.end(), search.plan.steps.begin(),
+                    search.plan.steps.end());
+  if (!projection.Empty()) {
+    full.steps.push_back(PlanStep::MakeProject(projection));
+  }
+  full.cost_max_s = search.plan.cost_max_s;
+  full.result_s = search.plan.result_s;
+
+  Timer eval_timer;
+  res.rep = ExecutePlan(in, full);
+  res.evaluate_seconds = eval_timer.Seconds();
+  res.plan = std::move(full);
+  return res;
+}
+
+FdbResult Engine::JoinFactorised(
+    const FRep& lhs, const FRep& rhs,
+    const std::vector<std::pair<AttrId, AttrId>>& eqs) {
+  FRep shifted = rhs;
+  shifted.tree().ShiftRelIndices(lhs.tree().MaxRelIndex() + 1);
+  FRep prod = Product(lhs, shifted);
+  return EvaluateOnFRep(prod, eqs);
+}
+
+Query Engine::Parse(const std::string& sql_text) {
+  return ParseSql(sql_text, db_->catalog(), &db_->dict());
+}
+
+FdbResult Engine::Execute(const std::string& sql_text) {
+  return EvaluateFlat(Parse(sql_text));
+}
+
+RdbResult Engine::ExecuteRdb(const Query& q, const RdbOptions& opts) const {
+  return RdbEvaluate(db_->catalog(), db_->RelationPtrs(q.rels), q, opts);
+}
+
+VdbResult Engine::ExecuteVdb(const Query& q, const VdbOptions& opts) const {
+  return VdbEvaluate(db_->catalog(), db_->RelationPtrs(q.rels), q, opts);
+}
+
+}  // namespace fdb

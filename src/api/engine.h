@@ -1,0 +1,106 @@
+// fdb::Engine — the FDB query engine plus the two relational baselines.
+//
+// Two evaluation paths, matching the paper:
+//  * flat input (Experiments 1/3): find an optimal f-tree for the query by
+//    exhaustive search, then *ground* the factorised result directly from
+//    the sorted relations — no flat intermediate results;
+//  * factorised input (Experiments 2/4): optimise an f-plan (exhaustive
+//    bottleneck search or greedy heuristic) and execute its operator
+//    sequence on the input f-representation.
+#ifndef FDB_API_ENGINE_H_
+#define FDB_API_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "core/fplan.h"
+#include "core/frep.h"
+#include "core/ground.h"
+#include "opt/fplan_search.h"
+#include "opt/ftree_search.h"
+#include "opt/greedy.h"
+#include "rdb/rdb.h"
+#include "vdb/vdb.h"
+
+namespace fdb {
+
+/// Engine-wide knobs.
+struct EngineOptions {
+  bool greedy_optimizer = false;  ///< greedy instead of exhaustive f-plans
+  CostMode cost_mode = CostMode::kAsymptotic;
+  FPlanSearchOptions search;      ///< advanced search options
+};
+
+/// Outcome of an FDB evaluation.
+struct FdbResult {
+  FRep rep;         ///< factorised query result
+  FPlan plan;       ///< f-plan executed (empty for the grounding path)
+  double optimize_seconds = 0.0;
+  double evaluate_seconds = 0.0;
+
+  size_t NumSingletons() const { return rep.NumSingletons(); }
+  double FlatTuples() const { return rep.CountTuples(); }
+};
+
+/// The query engine; borrows the database (which must outlive it; mutable
+/// because SQL string literals are interned into its dictionary).
+class Engine {
+ public:
+  explicit Engine(Database* db, EngineOptions opts = {})
+      : db_(db), opts_(opts) {}
+
+  /// Flat evaluation: optimal f-tree search + grounding (+ deferred
+  /// projection).
+  FdbResult EvaluateFlat(const Query& q);
+
+  /// Optimal f-tree for a query without evaluating it (Experiment 1).
+  FTreeSearchResult OptimizeFlat(const Query& q);
+
+  /// Factorised evaluation: f-plan optimisation + operator execution on an
+  /// existing f-representation. `eqs` are the new equality selections;
+  /// constant predicates run first, projection last (if `projection` is
+  /// non-empty).
+  FdbResult EvaluateOnFRep(const FRep& in,
+                           const std::vector<std::pair<AttrId, AttrId>>& eqs,
+                           const std::vector<ConstPred>& preds = {},
+                           AttrSet projection = {});
+
+  /// Plan-only variant of EvaluateOnFRep (Experiment 2).
+  FPlanSearchResult OptimizeOnTree(
+      const FTree& tree,
+      const std::vector<std::pair<AttrId, AttrId>>& eqs);
+
+  /// Joins two independently built factorised results (Example 2:
+  /// Q1 |x| Q2 on f-representations). Relation indices of `rhs` are shifted
+  /// past `lhs`'s, the forests are combined with the product operator, and
+  /// the join equalities run through the f-plan optimiser. The inputs must
+  /// have disjoint attribute sets.
+  FdbResult JoinFactorised(const FRep& lhs, const FRep& rhs,
+                           const std::vector<std::pair<AttrId, AttrId>>& eqs);
+
+  /// Parses an SPJ SQL string against the database (string literals are
+  /// interned into the dictionary).
+  Query Parse(const std::string& sql_text);
+
+  /// Parses and evaluates an SPJ SQL string (flat path).
+  FdbResult Execute(const std::string& sql_text);
+
+  /// Baselines.
+  RdbResult ExecuteRdb(const Query& q, const RdbOptions& opts = {}) const;
+  VdbResult ExecuteVdb(const Query& q, const VdbOptions& opts = {}) const;
+
+  /// Shared LP cache (exposed for benchmarks that report cache statistics).
+  EdgeCoverSolver& solver() { return solver_; }
+
+  const Database& db() const { return *db_; }
+
+ private:
+  Database* db_;
+  EngineOptions opts_;
+  EdgeCoverSolver solver_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_API_ENGINE_H_

@@ -1,0 +1,68 @@
+#include "bench_util/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace fdb {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      os << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  line(headers_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+std::string FmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+std::string FmtSecs(double secs) {
+  char buf[64];
+  if (secs < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", secs * 1e6);
+  } else if (secs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", secs * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", secs);
+  }
+  return buf;
+}
+
+void Banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace fdb

@@ -1,0 +1,36 @@
+// Plain-text table/series reporting for the experiment harnesses. Each
+// bench binary prints the rows/series of the paper figure it regenerates.
+#ifndef FDB_BENCH_UTIL_REPORT_H_
+#define FDB_BENCH_UTIL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fdb {
+
+/// A fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting used across benches.
+std::string FmtInt(uint64_t v);
+std::string FmtDouble(double v, int precision = 3);
+std::string FmtSci(double v);       ///< 1.23e+06
+std::string FmtSecs(double secs);   ///< 12.3ms / 1.23s
+
+/// Prints a figure banner, e.g. "== Figure 5 (left): ... ==".
+void Banner(std::ostream& os, const std::string& title);
+
+}  // namespace fdb
+
+#endif  // FDB_BENCH_UTIL_REPORT_H_

@@ -1,0 +1,43 @@
+// Workload construction for the experiment harnesses (§5, Experimental
+// Design): R relations with A attributes distributed uniformly, N tuples
+// per relation with uniform/Zipf values in [1..M], equi-join queries with K
+// non-redundant equalities — assembled into an fdb::Database ready for the
+// Engine and the baselines.
+#ifndef FDB_BENCH_UTIL_WORKLOAD_H_
+#define FDB_BENCH_UTIL_WORKLOAD_H_
+
+#include <memory>
+
+#include "api/database.h"
+#include "api/engine.h"
+#include "storage/generator.h"
+
+namespace fdb {
+
+/// A generated database plus the generated query over it.
+struct BenchInstance {
+  std::unique_ptr<Database> db;  // stable address for Engine
+  Query query;
+  WorkloadSpec spec;
+};
+
+/// Builds the database and query for `spec`.
+BenchInstance MakeBenchInstance(const WorkloadSpec& spec);
+
+/// Per-relation tuple counts may differ (Fig. 7 right column uses two
+/// binary relations of 64 tuples and two ternary ones of 512); this variant
+/// takes explicit per-relation aritys and sizes.
+BenchInstance MakeHeterogeneousInstance(
+    const std::vector<int>& arities, const std::vector<size_t>& sizes,
+    int64_t domain, Distribution dist, double zipf_alpha, int num_equalities,
+    uint64_t seed);
+
+/// Reads scaling knobs from the environment: FDB_BENCH_SCALE (float,
+/// default 1) multiplies data sizes; FDB_BENCH_TIMEOUT (seconds, default
+/// 10) bounds each baseline run (the paper used 100 s).
+double BenchScale();
+double BenchTimeout();
+
+}  // namespace fdb
+
+#endif  // FDB_BENCH_UTIL_WORKLOAD_H_

@@ -1,0 +1,27 @@
+#include "common/attrset.h"
+
+#include <sstream>
+
+namespace fdb {
+
+std::vector<AttrId> AttrSet::ToVector() const {
+  std::vector<AttrId> out;
+  out.reserve(static_cast<size_t>(Size()));
+  for (AttrId id : *this) out.push_back(id);
+  return out;
+}
+
+std::string AttrSet::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (AttrId id : *this) {
+    if (!first) os << ',';
+    os << id;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace fdb

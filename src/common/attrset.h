@@ -1,0 +1,103 @@
+// AttrSet: a set of attribute ids backed by a 64-bit mask.
+//
+// F-tree nodes are labelled by attribute classes, relations by attribute
+// sets, and the optimiser manipulates many of these per second; a bitmask
+// keeps all set algebra O(1).
+#ifndef FDB_COMMON_ATTRSET_H_
+#define FDB_COMMON_ATTRSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fdb {
+
+/// A set of up to 64 attribute (or relation) identifiers.
+class AttrSet {
+ public:
+  constexpr AttrSet() : bits_(0) {}
+  constexpr explicit AttrSet(uint64_t bits) : bits_(bits) {}
+
+  /// Builds a set from a list of ids.
+  static AttrSet Of(std::initializer_list<AttrId> ids) {
+    AttrSet s;
+    for (AttrId id : ids) s.Add(id);
+    return s;
+  }
+  static AttrSet FromVector(const std::vector<AttrId>& ids) {
+    AttrSet s;
+    for (AttrId id : ids) s.Add(id);
+    return s;
+  }
+  /// The set {0, 1, ..., n-1}.
+  static AttrSet FirstN(AttrId n) {
+    FDB_CHECK(n <= kMaxAttrs);
+    return n == 64 ? AttrSet(~uint64_t{0}) : AttrSet((uint64_t{1} << n) - 1);
+  }
+
+  void Add(AttrId id) {
+    FDB_CHECK(id < kMaxAttrs);
+    bits_ |= uint64_t{1} << id;
+  }
+  void Remove(AttrId id) { bits_ &= ~(uint64_t{1} << id); }
+  bool Contains(AttrId id) const { return (bits_ >> id) & 1; }
+
+  bool Empty() const { return bits_ == 0; }
+  int Size() const { return std::popcount(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  /// Smallest id in the set; set must be non-empty.
+  AttrId Min() const {
+    FDB_CHECK(bits_ != 0);
+    return static_cast<AttrId>(std::countr_zero(bits_));
+  }
+
+  bool Intersects(AttrSet o) const { return (bits_ & o.bits_) != 0; }
+  bool ContainsAll(AttrSet o) const { return (bits_ & o.bits_) == o.bits_; }
+
+  AttrSet Union(AttrSet o) const { return AttrSet(bits_ | o.bits_); }
+  AttrSet Intersect(AttrSet o) const { return AttrSet(bits_ & o.bits_); }
+  AttrSet Minus(AttrSet o) const { return AttrSet(bits_ & ~o.bits_); }
+
+  friend bool operator==(AttrSet a, AttrSet b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(AttrSet a, AttrSet b) { return a.bits_ != b.bits_; }
+  friend bool operator<(AttrSet a, AttrSet b) { return a.bits_ < b.bits_; }
+
+  /// Ids in increasing order.
+  std::vector<AttrId> ToVector() const;
+
+  /// Debug form, e.g. "{0,3,7}".
+  std::string ToString() const;
+
+  /// Iteration support: for (AttrId a : set) ...
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    AttrId operator*() const {
+      return static_cast<AttrId>(std::countr_zero(bits_));
+    }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return bits_ != o.bits_; }
+
+   private:
+    uint64_t bits_;
+  };
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  uint64_t bits_;
+};
+
+/// Relations are identified by small ids too; reuse the same bitset.
+using RelSet = AttrSet;
+
+}  // namespace fdb
+
+#endif  // FDB_COMMON_ATTRSET_H_

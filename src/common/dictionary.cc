@@ -1,0 +1,24 @@
+#include "common/dictionary.h"
+
+namespace fdb {
+
+Value Dictionary::Intern(const std::string& s) {
+  auto it = codes_.find(s);
+  if (it != codes_.end()) return it->second;
+  Value code = static_cast<Value>(strings_.size());
+  codes_.emplace(s, code);
+  strings_.push_back(s);
+  return code;
+}
+
+Value Dictionary::Lookup(const std::string& s) const {
+  auto it = codes_.find(s);
+  return it == codes_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Decode(Value code) const {
+  FDB_CHECK_MSG(Contains(code), "dictionary code out of range");
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace fdb

@@ -1,0 +1,44 @@
+// Dictionary encoding of string values.
+//
+// FDB stores only 64-bit integers in singletons; databases with string
+// columns map each distinct string to a dense integer code (the paper points
+// to dictionary-based compression as a complementary technique, §1).
+#ifndef FDB_COMMON_DICTIONARY_H_
+#define FDB_COMMON_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fdb {
+
+/// Bidirectional string <-> code map. Codes are assigned densely from 0 in
+/// first-seen order. Not thread-safe (FDB is a single-threaded engine, like
+/// the paper's prototype).
+class Dictionary {
+ public:
+  /// Returns the code for `s`, inserting it if new.
+  Value Intern(const std::string& s);
+
+  /// Returns the code for `s` or -1 if absent.
+  Value Lookup(const std::string& s) const;
+
+  /// Returns the string for a code; throws FdbError if out of range.
+  const std::string& Decode(Value code) const;
+
+  bool Contains(Value code) const {
+    return code >= 0 && static_cast<size_t>(code) < strings_.size();
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Value> codes_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_COMMON_DICTIONARY_H_

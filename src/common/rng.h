@@ -1,0 +1,64 @@
+// Deterministic random number generation for workload synthesis.
+//
+// The paper's experiments draw values uniformly or from a Zipf distribution
+// over [1..M]; both samplers live here so benchmarks and tests share one
+// reproducible source of randomness.
+#ifndef FDB_COMMON_RNG_H_
+#define FDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fdb {
+
+/// xorshift128+ generator: fast, deterministic across platforms (std::mt19937
+/// would also do, but a self-contained generator keeps bench outputs byte-
+/// stable across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipf(alpha) sampler over {1, ..., n} using inverse-CDF on a precomputed
+/// table (n is at most a few hundred in the paper's workloads).
+class ZipfSampler {
+ public:
+  /// alpha > 0; alpha around 1 matches the paper's "more skewed" setting.
+  ZipfSampler(int64_t n, double alpha);
+
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  int64_t n_;
+  double alpha_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_COMMON_RNG_H_

@@ -1,0 +1,27 @@
+// Small string helpers used by the CSV loader, SQL lexer and reporters.
+#ifndef FDB_COMMON_STR_H_
+#define FDB_COMMON_STR_H_
+
+#include <string>
+#include <vector>
+
+namespace fdb {
+
+/// Splits `s` on `sep` (no quoting); keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Lower-cases ASCII.
+std::string ToLower(const std::string& s);
+
+/// True if `s` parses fully as a signed 64-bit integer (optionally signed).
+bool ParseInt64(const std::string& s, int64_t* out);
+
+}  // namespace fdb
+
+#endif  // FDB_COMMON_STR_H_

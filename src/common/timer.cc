@@ -1,0 +1,3 @@
+#include "common/timer.h"
+
+// Header-only; this TU anchors the library target.

@@ -1,0 +1,47 @@
+// Wall-clock timing for experiments (the paper reports wall-clock times).
+#ifndef FDB_COMMON_TIMER_H_
+#define FDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fdb {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Simple deadline used to emulate the paper's 100-second query timeout.
+class Deadline {
+ public:
+  /// `seconds <= 0` means "no deadline".
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  bool Expired() const {
+    return seconds_ > 0 && timer_.Seconds() > seconds_;
+  }
+
+  double Budget() const { return seconds_; }
+
+ private:
+  double seconds_;
+  Timer timer_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_COMMON_TIMER_H_

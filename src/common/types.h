@@ -1,0 +1,67 @@
+// Core scalar types and error-checking macros shared by all FDB modules.
+#ifndef FDB_COMMON_TYPES_H_
+#define FDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fdb {
+
+/// A data value. FDB stores 8-byte integers; strings are dictionary-encoded
+/// (the paper: "a singleton holds an 8 byte integer").
+using Value = int64_t;
+
+/// Global attribute identifier. Attributes live in a per-database universe of
+/// at most kMaxAttrs attributes so that attribute sets fit in one 64-bit mask.
+using AttrId = uint32_t;
+
+/// Identifier of a relation within a database / query.
+using RelId = uint32_t;
+
+/// Maximum number of attributes in a database universe (fits an AttrSet).
+inline constexpr AttrId kMaxAttrs = 64;
+
+/// Maximum number of relations in a query (fits a RelSet bitmask).
+inline constexpr RelId kMaxRels = 64;
+
+/// A flat tuple; values are indexed positionally by a schema.
+using Tuple = std::vector<Value>;
+
+/// Exception type thrown on precondition violations and malformed input.
+class FdbError : public std::runtime_error {
+ public:
+  explicit FdbError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace internal {
+
+inline void ThrowCheckFailure(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "FDB_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw FdbError(os.str());
+}
+
+}  // namespace internal
+
+// Always-on invariant check (these guard algorithmic preconditions such as
+// the path constraint; the cost is negligible next to the guarded work).
+#define FDB_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fdb::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define FDB_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fdb::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+}  // namespace fdb
+
+#endif  // FDB_COMMON_TYPES_H_

@@ -1,0 +1,134 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace fdb {
+
+namespace {
+
+// DP over the union pool: for each union, the tuple count of the sub-
+// representation and the sum of `attr` over its tuples. For an entry with
+// value v and child counts c_1..c_k / child sums s_1..s_k:
+//   count contribution:  prod_j c_j
+//   sum contribution:    [node has attr] * v * prod_j c_j
+//                        + sum_j s_j * prod_{j' != j} c_{j'}
+struct CountSum {
+  double count = 0.0;
+  double sum = 0.0;
+};
+
+CountSum SolveUnion(const FRep& rep, uint32_t id, AttrId attr,
+                    std::vector<CountSum>& memo, std::vector<char>& done) {
+  if (done[id]) return memo[id];
+  const UnionNode& un = rep.u(id);
+  const FTreeNode& nd = rep.tree().node(un.node);
+  const size_t k = nd.children.size();
+  const bool has_attr = nd.attrs.Contains(attr);
+
+  CountSum out;
+  for (size_t e = 0; e < un.values.size(); ++e) {
+    double prod = 1.0;
+    double weighted = 0.0;  // sum_j s_j * prod_{j' != j} c_{j'}
+    for (size_t j = 0; j < k; ++j) {
+      CountSum c = SolveUnion(rep, un.Child(e, j, k), attr, memo, done);
+      weighted = weighted * c.count + c.sum * prod;
+      prod *= c.count;
+    }
+    out.count += prod;
+    out.sum += weighted;
+    if (has_attr) {
+      out.sum += static_cast<double>(un.values[e]) * prod;
+    }
+  }
+  memo[id] = out;
+  done[id] = 1;
+  return out;
+}
+
+// Combines the forest roots (a product): count multiplies; the sum of attr
+// over a product is sum_i s_i * prod_{i' != i} c_{i'} — attr lives in
+// exactly one root tree, so only one s_i is non-zero.
+CountSum SolveForest(const FRep& rep, AttrId attr) {
+  std::vector<CountSum> memo(rep.NumUnions());
+  std::vector<char> done(rep.NumUnions(), 0);
+  CountSum total{1.0, 0.0};
+  for (uint32_t r : rep.roots()) {
+    CountSum c = SolveUnion(rep, r, attr, memo, done);
+    total.sum = total.sum * c.count + c.sum * total.count;
+    total.count *= c.count;
+  }
+  return total;
+}
+
+int NodeOfAttr(const FRep& rep, AttrId attr) {
+  int n = rep.tree().FindAttr(attr);
+  FDB_CHECK_MSG(n >= 0, "aggregate attribute not in the f-tree");
+  return n;
+}
+
+template <typename Fn>
+void ForEachUnionOfNode(const FRep& rep, int node, Fn fn) {
+  std::vector<char> seen(rep.NumUnions(), 0);
+  std::vector<uint32_t> stack(rep.roots().begin(), rep.roots().end());
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = 1;
+    const UnionNode& un = rep.u(id);
+    if (un.node == node) fn(un);
+    for (uint32_t c : un.children) stack.push_back(c);
+  }
+}
+
+}  // namespace
+
+double Count(const FRep& rep) { return rep.CountTuples(); }
+
+double Sum(const FRep& rep, AttrId attr) {
+  NodeOfAttr(rep, attr);
+  if (rep.empty()) return 0.0;
+  if (rep.roots().empty()) return 0.0;  // nullary: no attributes (unreached)
+  return SolveForest(rep, attr).sum;
+}
+
+double Avg(const FRep& rep, AttrId attr) {
+  NodeOfAttr(rep, attr);
+  FDB_CHECK_MSG(!rep.empty(), "AVG over the empty relation");
+  CountSum cs = SolveForest(rep, attr);
+  return cs.sum / cs.count;
+}
+
+Value Min(const FRep& rep, AttrId attr) {
+  int node = NodeOfAttr(rep, attr);
+  FDB_CHECK_MSG(!rep.empty(), "MIN over the empty relation");
+  Value best = std::numeric_limits<Value>::max();
+  ForEachUnionOfNode(rep, node, [&](const UnionNode& un) {
+    best = std::min(best, un.values.front());  // values are sorted
+  });
+  return best;
+}
+
+Value Max(const FRep& rep, AttrId attr) {
+  int node = NodeOfAttr(rep, attr);
+  FDB_CHECK_MSG(!rep.empty(), "MAX over the empty relation");
+  Value best = std::numeric_limits<Value>::min();
+  ForEachUnionOfNode(rep, node, [&](const UnionNode& un) {
+    best = std::max(best, un.values.back());
+  });
+  return best;
+}
+
+size_t CountDistinct(const FRep& rep, AttrId attr) {
+  int node = NodeOfAttr(rep, attr);
+  if (rep.empty()) return 0;
+  std::unordered_set<Value> seen;
+  ForEachUnionOfNode(rep, node, [&](const UnionNode& un) {
+    seen.insert(un.values.begin(), un.values.end());
+  });
+  return seen.size();
+}
+
+}  // namespace fdb

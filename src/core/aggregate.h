@@ -1,0 +1,44 @@
+// Aggregates computed directly on f-representations, without enumeration.
+//
+// Factorised representations support aggregation in time linear in |E|
+// rather than in the number of represented tuples: counts and sums
+// distribute over the union/product structure (this is the direction the
+// factorised-database line later developed into the F and LMFAO systems;
+// the FDB paper positions factorised results as "compilations of query
+// results that allow for efficient subsequent processing", §1).
+//
+// Semantics: aggregates range over the *distinct tuples* of the represented
+// relation (relations are sets), over all attributes of the f-tree.
+#ifndef FDB_CORE_AGGREGATE_H_
+#define FDB_CORE_AGGREGATE_H_
+
+#include <cstdint>
+
+#include "core/frep.h"
+
+namespace fdb {
+
+/// COUNT(*): number of represented tuples. Exact up to 2^53 (delegates to
+/// FRep::CountTuples).
+double Count(const FRep& rep);
+
+/// SUM(attr) over all represented tuples. The attribute must label an
+/// alive f-tree node. Returns 0 for the empty relation.
+double Sum(const FRep& rep, AttrId attr);
+
+/// AVG(attr); throws FdbError on the empty relation.
+double Avg(const FRep& rep, AttrId attr);
+
+/// MIN/MAX(attr); throw FdbError on the empty relation. Every reachable
+/// union participates in at least one tuple (no-empty-unions invariant), so
+/// these are single passes over the unions of the attribute's node.
+Value Min(const FRep& rep, AttrId attr);
+Value Max(const FRep& rep, AttrId attr);
+
+/// COUNT(DISTINCT attr): number of distinct values of the attribute across
+/// all represented tuples.
+size_t CountDistinct(const FRep& rep, AttrId attr);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_AGGREGATE_H_

@@ -1,0 +1,108 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+
+namespace fdb {
+
+TupleEnumerator::TupleEnumerator(const FRep& rep)
+    : rep_(&rep), current_(kMaxAttrs, 0) {
+  if (rep.empty()) {
+    done_ = true;
+    return;
+  }
+  const FTree& t = rep.tree();
+  if (t.roots().empty()) {
+    nullary_pending_ = true;  // the single tuple <>
+    return;
+  }
+  // Build pre-order frames with parent links.
+  std::vector<int> order = t.PreOrder();
+  std::vector<int> frame_of(t.pool_size(), -1);
+  frames_.reserve(order.size());
+  for (int n : order) {
+    Frame f;
+    f.node = n;
+    int p = t.node(n).parent;
+    if (p == -1) {
+      f.parent_pos = -1;
+      const auto& roots = t.roots();
+      f.slot = static_cast<size_t>(
+          std::find(roots.begin(), roots.end(), n) - roots.begin());
+    } else {
+      f.parent_pos = frame_of[static_cast<size_t>(p)];
+      const auto& ch = t.node(p).children;
+      f.slot = static_cast<size_t>(
+          std::find(ch.begin(), ch.end(), n) - ch.begin());
+    }
+    frame_of[static_cast<size_t>(n)] = static_cast<int>(frames_.size());
+    frames_.push_back(f);
+  }
+}
+
+void TupleEnumerator::ResetFrame(size_t i) {
+  Frame& f = frames_[i];
+  if (f.parent_pos < 0) {
+    f.union_id = rep_->roots()[f.slot];
+  } else {
+    const Frame& pf = frames_[static_cast<size_t>(f.parent_pos)];
+    const UnionNode& pu = rep_->u(pf.union_id);
+    const size_t k = rep_->tree().node(pf.node).children.size();
+    f.union_id = pu.Child(pf.entry, f.slot, k);
+  }
+  f.entry = 0;
+  WriteValues(i);
+}
+
+void TupleEnumerator::WriteValues(size_t i) {
+  const Frame& f = frames_[i];
+  Value v = rep_->u(f.union_id).values[f.entry];
+  for (AttrId a : rep_->tree().node(f.node).attrs) current_[a] = v;
+}
+
+bool TupleEnumerator::Next() {
+  if (done_) return false;
+  if (nullary_pending_) {
+    nullary_pending_ = false;
+    done_ = true;
+    return true;  // yields the nullary tuple once
+  }
+  if (frames_.empty()) {
+    done_ = true;
+    return false;
+  }
+  if (!started_) {
+    started_ = true;
+    for (size_t i = 0; i < frames_.size(); ++i) ResetFrame(i);
+    return true;
+  }
+  // Odometer: advance the deepest frame with a next entry; reset the rest.
+  size_t i = frames_.size();
+  while (i > 0) {
+    Frame& f = frames_[i - 1];
+    if (f.entry + 1 < rep_->u(f.union_id).size()) {
+      ++f.entry;
+      WriteValues(i - 1);
+      for (size_t j = i; j < frames_.size(); ++j) ResetFrame(j);
+      return true;
+    }
+    --i;
+  }
+  done_ = true;
+  return false;
+}
+
+Relation MaterializeVisible(const FRep& rep) {
+  AttrSet visible = rep.tree().VisibleAttrs();
+  std::vector<AttrId> schema = visible.ToVector();
+  Relation out(schema);
+  TupleEnumerator en(rep);
+  std::vector<Value> tuple(schema.size());
+  while (en.Next()) {
+    for (size_t c = 0; c < schema.size(); ++c) tuple[c] = en.ValueOf(schema[c]);
+    out.AddTuple(tuple);
+  }
+  out.SortLex();  // relations are sets: sort + dedup
+  return out;
+}
+
+}  // namespace fdb

@@ -1,0 +1,64 @@
+// Tuple enumeration from f-representations.
+//
+// F-representations allow constant-delay enumeration: O(|E|) preparation and
+// O(|S|) delay between successive tuples (§2). TupleEnumerator implements
+// this with an explicit odometer over the f-tree's pre-order: advancing to
+// the next tuple touches each of the |T| frames at most once.
+#ifndef FDB_CORE_ENUMERATE_H_
+#define FDB_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "core/frep.h"
+#include "storage/relation.h"
+
+namespace fdb {
+
+/// Streams the tuples of an f-representation. Tuples carry all attributes
+/// of the f-tree (visible or not); callers project as needed.
+class TupleEnumerator {
+ public:
+  explicit TupleEnumerator(const FRep& rep);
+
+  /// Advances to the next tuple; false when exhausted. The first call
+  /// positions the enumerator on the first tuple.
+  bool Next();
+
+  /// Value of `attr` in the current tuple (valid after Next() == true).
+  Value ValueOf(AttrId attr) const { return current_[attr]; }
+
+  /// The current tuple indexed by attribute id (sparse; only attributes of
+  /// the f-tree are meaningful).
+  const std::vector<Value>& current() const { return current_; }
+
+ private:
+  struct Frame {
+    int node;        // f-tree node id
+    int parent_pos;  // index into frames_ of the parent, -1 for roots
+    size_t slot;     // child slot within the parent node
+    uint32_t union_id = 0;
+    size_t entry = 0;
+  };
+
+  // Sets frames_[i].union_id from the parent frame (or root slot) and
+  // resets its entry to 0; writes the class values into current_.
+  void ResetFrame(size_t i);
+  void WriteValues(size_t i);
+
+  const FRep* rep_;
+  std::vector<Frame> frames_;      // pre-order
+  std::vector<size_t> root_slot_;  // frame index -> slot in rep roots
+  std::vector<Value> current_;     // indexed by AttrId
+  bool started_ = false;
+  bool done_ = false;
+  bool nullary_pending_ = false;
+};
+
+/// Materialises the visible part of `rep` as a relation with schema =
+/// visible attributes in increasing id order; rows sorted, duplicates
+/// removed. Intended for tests and examples, not for large results.
+Relation MaterializeVisible(const FRep& rep);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_ENUMERATE_H_

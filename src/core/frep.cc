@@ -1,0 +1,130 @@
+#include "core/frep.h"
+
+#include <algorithm>
+
+namespace fdb {
+
+namespace {
+
+// Operators may leave unreachable (dropped-entry) unions in the pool, so
+// statistics walk only what the roots reach; shared unions count once.
+template <typename Fn>
+void ForEachReachable(const FRep& rep, Fn fn) {
+  std::vector<char> seen(rep.NumUnions(), 0);
+  std::vector<uint32_t> stack(rep.roots().begin(), rep.roots().end());
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = 1;
+    fn(rep.u(id));
+    for (uint32_t c : rep.u(id).children) stack.push_back(c);
+  }
+}
+
+}  // namespace
+
+size_t FRep::NumSingletons() const {
+  if (empty_) return 0;
+  size_t total = 0;
+  ForEachReachable(*this, [&](const UnionNode& un) {
+    total += un.values.size() *
+             static_cast<size_t>(tree_.node(un.node).visible.Size());
+  });
+  return total;
+}
+
+size_t FRep::NumValues() const {
+  if (empty_) return 0;
+  size_t total = 0;
+  ForEachReachable(*this, [&](const UnionNode& un) {
+    total += un.values.size();
+  });
+  return total;
+}
+
+double FRep::CountTuples() const {
+  if (empty_) return 0.0;
+  if (roots_.empty()) return 1.0;  // the nullary tuple <>
+  std::vector<double> memo(pool_.size(), -1.0);
+  // Iterative post-order over the DAG of unions (operators may share
+  // subtrees, e.g. push-up hoists one copy).
+  std::vector<uint32_t> stack(roots_.begin(), roots_.end());
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    const UnionNode& un = pool_[id];
+    if (memo[id] >= 0.0) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (uint32_t c : un.children) {
+      if (memo[c] < 0.0) {
+        if (ready) ready = false;
+        stack.push_back(c);
+      }
+    }
+    if (!ready) continue;
+    const size_t k =
+        tree_.node(un.node).children.size();
+    double total = 0.0;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      double prod = 1.0;
+      for (size_t j = 0; j < k; ++j) prod *= memo[un.Child(e, j, k)];
+      total += prod;
+    }
+    memo[id] = total;
+    stack.pop_back();
+  }
+  double result = 1.0;
+  for (uint32_t r : roots_) result *= memo[r];
+  return result;
+}
+
+void FRep::Validate() const {
+  tree_.Validate();
+  if (empty_) {
+    FDB_CHECK_MSG(roots_.empty() && pool_.empty(),
+                  "empty representation must have no unions");
+    return;
+  }
+  FDB_CHECK_MSG(roots_.size() == tree_.roots().size(),
+                "root unions must align with tree roots");
+  // Walk every reachable union once.
+  std::vector<char> seen(pool_.size(), 0);
+  std::vector<uint32_t> stack;
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    FDB_CHECK(roots_[i] < pool_.size());
+    FDB_CHECK_MSG(pool_[roots_[i]].node == tree_.roots()[i],
+                  "root union bound to wrong tree node");
+    stack.push_back(roots_[i]);
+  }
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;  // sharing is allowed (push-up hoists copies)
+    seen[id] = 1;
+    const UnionNode& un = pool_[id];
+    const FTreeNode& nd = tree_.node(un.node);
+    FDB_CHECK_MSG(nd.alive, "union bound to dead tree node");
+    FDB_CHECK_MSG(!un.values.empty(), "empty union inside non-empty rep");
+    FDB_CHECK_MSG(un.children.size() == un.values.size() * nd.children.size(),
+                  "child slot count mismatch");
+    for (size_t e = 1; e < un.values.size(); ++e) {
+      FDB_CHECK_MSG(un.values[e - 1] < un.values[e],
+                    "union values not strictly increasing");
+    }
+    const size_t k = nd.children.size();
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      for (size_t j = 0; j < k; ++j) {
+        uint32_t c = un.Child(e, j, k);
+        FDB_CHECK(c < pool_.size());
+        FDB_CHECK_MSG(pool_[c].node == nd.children[j],
+                      "child union bound to wrong tree node");
+        stack.push_back(c);
+      }
+    }
+  }
+}
+
+}  // namespace fdb

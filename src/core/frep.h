@@ -1,0 +1,98 @@
+// Factorised representations (f-representations, §2 Def. 1–2).
+//
+// An f-representation over an f-tree T is stored as a pool of union nodes.
+// One UnionNode materialises one occurrence of an f-tree node: the sorted
+// distinct values of the grouping class in that context, and for every value
+// one child union per child of the f-tree node (row-major in `children`).
+//
+// Invariants (checked by Validate(), preserved by every operator):
+//   * values within a union are strictly increasing (the paper's order
+//     constraint, required by the swap/merge algorithms);
+//   * no union stored in a non-empty representation is empty — emptiness
+//     propagates to the whole representation (`empty()`);
+//   * the child count of every entry equals the f-tree node's child count,
+//     and child unions belong to the corresponding child f-tree nodes.
+//
+// The empty relation over any tree is representable (empty() == true); the
+// nullary relation <> is the non-empty representation over the empty forest.
+#ifndef FDB_CORE_FREP_H_
+#define FDB_CORE_FREP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/ftree.h"
+
+namespace fdb {
+
+/// One occurrence of an f-tree node: a union of values with child unions.
+struct UnionNode {
+  int node = -1;                    ///< owning f-tree node id
+  std::vector<Value> values;        ///< strictly increasing
+  std::vector<uint32_t> children;   ///< values.size() * (#tree children)
+
+  size_t size() const { return values.size(); }
+  uint32_t Child(size_t entry, size_t slot, size_t nslots) const {
+    return children[entry * nslots + slot];
+  }
+};
+
+/// A factorised representation bound to an f-tree.
+class FRep {
+ public:
+  /// The empty relation over `tree`.
+  explicit FRep(FTree tree) : tree_(std::move(tree)) {}
+
+  const FTree& tree() const { return tree_; }
+  FTree& tree() { return tree_; }
+
+  /// True for the empty relation (no tuples).
+  bool empty() const { return empty_; }
+  void MarkNonEmpty() { empty_ = false; }
+  void MarkEmpty() {
+    empty_ = true;
+    roots_.clear();
+    pool_.clear();
+  }
+
+  uint32_t NewUnion(int node) {
+    UnionNode u;
+    u.node = node;
+    pool_.push_back(std::move(u));
+    return static_cast<uint32_t>(pool_.size()) - 1;
+  }
+
+  UnionNode& u(uint32_t id) { return pool_[id]; }
+  const UnionNode& u(uint32_t id) const { return pool_[id]; }
+
+  /// Root unions, aligned with tree().roots() order.
+  std::vector<uint32_t>& roots() { return roots_; }
+  const std::vector<uint32_t>& roots() const { return roots_; }
+
+  size_t NumUnions() const { return pool_.size(); }
+
+  /// Number of singletons (the paper's |E|): every value of a union counts
+  /// once per *visible* attribute of its class.
+  size_t NumSingletons() const;
+
+  /// Number of physically stored values (one per union entry).
+  size_t NumValues() const;
+
+  /// Number of represented tuples (over all attributes, visible or not),
+  /// by dynamic programming over the pool. Exact up to 2^53.
+  double CountTuples() const;
+
+  /// Checks all representation invariants; throws FdbError on violation.
+  void Validate() const;
+
+ private:
+  FTree tree_;
+  std::vector<UnionNode> pool_;
+  std::vector<uint32_t> roots_;
+  bool empty_ = true;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_FREP_H_

@@ -1,0 +1,189 @@
+#include "core/ground.h"
+
+#include <limits>
+
+#include <algorithm>
+
+#include "core/ops_common.h"
+
+namespace fdb {
+
+using ops_internal::kNoUnion;
+
+namespace {
+
+struct RelState {
+  Relation rel;                 // filtered + sorted working copy
+  std::vector<size_t> node_col; // f-tree node id -> column, SIZE_MAX if none
+};
+
+}  // namespace
+
+FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
+                 const std::vector<ConstPred>& preds) {
+  tree.Validate();
+  FDB_CHECK_MSG(tree.SatisfiesPathConstraint(),
+                "grounding requires an f-tree satisfying the path constraint");
+
+  const size_t nrels = rels.size();
+  std::vector<RelState> st;
+  st.reserve(nrels);
+
+  // Which tree nodes each relation covers, ancestor-first.
+  std::vector<std::vector<int>> rel_nodes(nrels);
+  for (int n : tree.AliveNodes()) {
+    const FTreeNode& nd = tree.node(n);
+    FDB_CHECK_MSG(nd.constant || !nd.cover_rels.Empty(),
+                  "f-tree node with no covering relation");
+    for (AttrId r : nd.cover_rels) {
+      FDB_CHECK_MSG(r < nrels, "f-tree references a missing relation");
+      rel_nodes[r].push_back(n);
+    }
+  }
+  for (auto& nodes : rel_nodes) {
+    std::sort(nodes.begin(), nodes.end(),
+              [&](int x, int y) { return tree.Depth(x) < tree.Depth(y); });
+  }
+
+  for (size_t r = 0; r < nrels; ++r) {
+    RelState s{*rels[r], std::vector<size_t>(tree.pool_size(), SIZE_MAX)};
+    // Constant predicates on this relation's attributes.
+    for (const ConstPred& p : preds) {
+      if (!s.rel.HasAttr(p.attr)) continue;
+      size_t col = s.rel.ColumnOf(p.attr);
+      s.rel.Filter([&](size_t row) {
+        return EvalCmp(s.rel.At(row, col), p.op, p.value);
+      });
+    }
+    // Intra-relation equalities: several attributes of this relation in one
+    // class must agree; the first becomes the representative column.
+    std::vector<size_t> sort_cols;
+    for (int n : rel_nodes[r]) {
+      const FTreeNode& nd = tree.node(n);
+      std::vector<size_t> cols;
+      for (AttrId a : nd.attrs) {
+        if (s.rel.HasAttr(a)) cols.push_back(s.rel.ColumnOf(a));
+      }
+      FDB_CHECK(!cols.empty());
+      if (cols.size() > 1) {
+        s.rel.Filter([&](size_t row) {
+          for (size_t i = 1; i < cols.size(); ++i) {
+            if (s.rel.At(row, cols[i]) != s.rel.At(row, cols[0])) return false;
+          }
+          return true;
+        });
+      }
+      s.node_col[static_cast<size_t>(n)] = cols[0];
+      sort_cols.push_back(cols[0]);
+    }
+    s.rel.SortByColumns(sort_cols);
+    st.push_back(std::move(s));
+  }
+
+  FRep out{FTree(tree)};
+
+  // Current row range per relation, narrowed as we bind values down a path.
+  std::vector<std::pair<size_t, size_t>> range(nrels);
+  for (size_t r = 0; r < nrels; ++r) range[r] = {0, st[r].rel.size()};
+
+  // Builds the union for tree node n under the current ranges; kNoUnion if
+  // no value survives.
+  auto build = [&](auto&& self, int n) -> uint32_t {
+    const FTreeNode& nd = tree.node(n);
+    std::vector<AttrId> here = nd.cover_rels.ToVector();
+    FDB_CHECK(!here.empty());
+    uint32_t nid = out.NewUnion(n);
+
+    // Leapfrog over the covering relations' sorted columns.
+    std::vector<size_t> cursor(here.size());
+    for (size_t i = 0; i < here.size(); ++i) {
+      cursor[i] = range[here[i]].first;
+    }
+    for (;;) {
+      // Propose the max of the current heads; stop if any range is done.
+      bool exhausted = false;
+      Value v = std::numeric_limits<Value>::min();
+      for (size_t i = 0; i < here.size(); ++i) {
+        size_t r = here[i];
+        if (cursor[i] >= range[r].second) {
+          exhausted = true;
+          break;
+        }
+        v = std::max(v, st[r].rel.At(cursor[i], st[r].node_col[static_cast<size_t>(n)]));
+      }
+      if (exhausted) break;
+      // Advance every head to >= v; if any overshoots, retry with larger v.
+      bool agree = true;
+      for (size_t i = 0; i < here.size(); ++i) {
+        size_t r = here[i];
+        size_t col = st[r].node_col[static_cast<size_t>(n)];
+        cursor[i] = st[r].rel.LowerBound(cursor[i], range[r].second, col, v);
+        if (cursor[i] >= range[r].second) {
+          agree = false;
+          exhausted = true;
+          break;
+        }
+        if (st[r].rel.At(cursor[i], col) != v) agree = false;
+      }
+      if (exhausted) break;
+      if (!agree) continue;
+
+      // All covering relations contain v: narrow and recurse.
+      std::vector<std::pair<size_t, size_t>> saved(here.size());
+      for (size_t i = 0; i < here.size(); ++i) {
+        size_t r = here[i];
+        size_t col = st[r].node_col[static_cast<size_t>(n)];
+        saved[i] = range[r];
+        size_t end = st[r].rel.LowerBound(cursor[i], range[r].second, col, v + 1);
+        range[r] = {cursor[i], end};
+      }
+      std::vector<uint32_t> kids;
+      bool dead = false;
+      for (int c : nd.children) {
+        uint32_t cid = self(self, c);
+        if (cid == kNoUnion) {
+          dead = true;
+          break;
+        }
+        kids.push_back(cid);
+      }
+      // Restore: continue after v's block.
+      for (size_t i = 0; i < here.size(); ++i) {
+        size_t r = here[i];
+        cursor[i] = range[r].second;
+        range[r] = saved[i];
+      }
+      if (!dead) {
+        out.u(nid).values.push_back(v);
+        for (uint32_t kid : kids) out.u(nid).children.push_back(kid);
+      }
+    }
+    return out.u(nid).values.empty() ? kNoUnion : nid;
+  };
+
+  out.MarkNonEmpty();
+  for (int root : tree.roots()) {
+    uint32_t rid = build(build, root);
+    if (rid == kNoUnion) {
+      out.MarkEmpty();
+      return out;
+    }
+    out.roots().push_back(rid);
+  }
+  return out;
+}
+
+FRep GroundRelation(const Relation& rel, int rel_index) {
+  FDB_CHECK_MSG(rel.arity() > 0, "cannot factorise a nullary relation");
+  FTree tree = PathFTree(rel.schema(), rel_index);
+  std::vector<const Relation*> rels(static_cast<size_t>(rel_index) + 1,
+                                    nullptr);
+  // Only the slot at rel_index is used; earlier slots are placeholders for
+  // queries where this relation is not the first.
+  Relation empty({});
+  for (auto& p : rels) p = &empty;
+  rels[static_cast<size_t>(rel_index)] = &rel;
+  return GroundQuery(tree, rels);
+}
+
+}  // namespace fdb

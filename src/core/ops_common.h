@@ -1,0 +1,29 @@
+// Internal helpers shared by the operator implementations.
+#ifndef FDB_CORE_OPS_COMMON_H_
+#define FDB_CORE_OPS_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frep.h"
+
+namespace fdb {
+namespace ops_internal {
+
+/// Sentinel for "this union became empty".
+inline constexpr uint32_t kNoUnion = 0xFFFFFFFFu;
+
+/// Deep-copies the union `id` of `src` (with everything below) into `dst`.
+/// `memo` must have src.NumUnions() entries initialised to kNoUnion; shared
+/// subtrees stay shared.
+uint32_t CopySubtree(const FRep& src, uint32_t id, FRep* dst,
+                     std::vector<uint32_t>* memo);
+
+/// True for every tree node whose subtree contains `target` (including
+/// target itself). Indexed by tree node id.
+std::vector<char> SubtreeContains(const FTree& tree, int target);
+
+}  // namespace ops_internal
+}  // namespace fdb
+
+#endif  // FDB_CORE_OPS_COMMON_H_

@@ -1,0 +1,279 @@
+#include <algorithm>
+
+#include "core/ops.h"
+#include "core/ops_common.h"
+
+namespace fdb {
+
+using ops_internal::kNoUnion;
+using ops_internal::SubtreeContains;
+
+namespace {
+
+uint32_t Copy(const FRep& src, uint32_t id, FRep* out) {
+  const UnionNode& un = src.u(id);
+  uint32_t nid = out->NewUnion(un.node);
+  out->u(nid).values = un.values;
+  out->u(nid).children.reserve(un.children.size());
+  for (uint32_t c : un.children) {
+    uint32_t cc = Copy(src, c, out);  // hoisted: Copy may grow the pool
+    out->u(nid).children.push_back(cc);
+  }
+  return nid;
+}
+
+}  // namespace
+
+// mu_{A,B} (§3.3, Fig. 3(c)): sort-merge join of two sibling unions. The
+// merged node keeps A's id; its child slots are A's followed by B's.
+FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
+  const FTree& t = in.tree();
+  const int a = t.FindAttr(a_attr);
+  const int b = t.FindAttr(b_attr);
+  FDB_CHECK_MSG(a >= 0 && b >= 0, "merge attribute not in the f-tree");
+  if (a == b) return in;  // the condition already holds (same class)
+  FDB_CHECK_MSG(t.node(a).parent == t.node(b).parent,
+                "merge requires sibling nodes (or two roots)");
+
+  const int p = t.node(a).parent;
+  const size_t ka = t.node(a).children.size();
+  const size_t kb = t.node(b).children.size();
+
+  FTree new_tree = t;
+  new_tree.MergeTree(a, b);
+
+  FRep out(std::move(new_tree));
+  if (in.empty()) return out;
+
+  // Sort-merge two unions; kNoUnion when the intersection is empty.
+  auto merge_unions = [&](uint32_t ida, uint32_t idb) -> uint32_t {
+    const UnionNode& ua = in.u(ida);
+    const UnionNode& ub = in.u(idb);
+    uint32_t nid = out.NewUnion(a);
+    size_t i = 0, j = 0;
+    while (i < ua.values.size() && j < ub.values.size()) {
+      if (ua.values[i] < ub.values[j]) {
+        ++i;
+      } else if (ub.values[j] < ua.values[i]) {
+        ++j;
+      } else {
+        out.u(nid).values.push_back(ua.values[i]);
+        for (size_t s = 0; s < ka; ++s) {
+          uint32_t ca = Copy(in, ua.Child(i, s, ka), &out);
+          out.u(nid).children.push_back(ca);
+        }
+        for (size_t s = 0; s < kb; ++s) {
+          uint32_t cb = Copy(in, ub.Child(j, s, kb), &out);
+          out.u(nid).children.push_back(cb);
+        }
+        ++i;
+        ++j;
+      }
+    }
+    return out.u(nid).values.empty() ? kNoUnion : nid;
+  };
+
+  out.MarkNonEmpty();
+  if (p == -1) {
+    // Two root unions join at the top level.
+    uint32_t ida = kNoUnion, idb = kNoUnion;
+    for (size_t i = 0; i < in.roots().size(); ++i) {
+      int n = in.u(in.roots()[i]).node;
+      if (n == a) ida = in.roots()[i];
+      if (n == b) idb = in.roots()[i];
+    }
+    FDB_CHECK(ida != kNoUnion && idb != kNoUnion);
+    uint32_t merged = merge_unions(ida, idb);
+    if (merged == kNoUnion) {
+      out.MarkEmpty();
+      return out;
+    }
+    for (uint32_t r : in.roots()) {
+      int n = in.u(r).node;
+      if (n == a) {
+        out.roots().push_back(merged);
+      } else if (n == b) {
+        continue;  // removed root
+      } else {
+        out.roots().push_back(Copy(in, r, &out));
+      }
+    }
+    return out;
+  }
+
+  // Interior case: rebuild along the path to P; P-entries whose sibling
+  // unions have an empty intersection are dropped, cascading upwards.
+  std::vector<char> on_path = SubtreeContains(t, p);
+  const size_t kp = t.node(p).children.size();
+  const auto& p_children = t.node(p).children;
+  const size_t slot_a = static_cast<size_t>(
+      std::find(p_children.begin(), p_children.end(), a) - p_children.begin());
+  const size_t slot_b = static_cast<size_t>(
+      std::find(p_children.begin(), p_children.end(), b) - p_children.begin());
+
+  auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
+    const UnionNode& un = in.u(id);
+    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
+    const size_t k = t.node(un.node).children.size();
+    uint32_t nid = out.NewUnion(un.node);
+    std::vector<uint32_t> kept;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      kept.clear();
+      bool dead = false;
+      if (un.node == p) {
+        uint32_t merged =
+            merge_unions(un.Child(e, slot_a, kp), un.Child(e, slot_b, kp));
+        if (merged == kNoUnion) continue;
+        // New slot layout: old slots with B removed; merged union replaces A.
+        for (size_t j = 0; j < kp; ++j) {
+          if (j == slot_b) continue;
+          if (j == slot_a) {
+            kept.push_back(merged);
+          } else {
+            kept.push_back(Copy(in, un.Child(e, j, kp), &out));
+          }
+        }
+      } else {
+        for (size_t j = 0; j < k; ++j) {
+          uint32_t nc = self(self, un.Child(e, j, k));
+          if (nc == kNoUnion) {
+            dead = true;
+            break;
+          }
+          kept.push_back(nc);
+        }
+        if (dead) continue;
+      }
+      out.u(nid).values.push_back(un.values[e]);
+      for (uint32_t c : kept) out.u(nid).children.push_back(c);
+    }
+    return out.u(nid).values.empty() ? kNoUnion : nid;
+  };
+
+  for (uint32_t r : in.roots()) {
+    uint32_t nr = rec(rec, r);
+    if (nr == kNoUnion) {
+      out.MarkEmpty();
+      return out;
+    }
+    out.roots().push_back(nr);
+  }
+  return out;
+}
+
+// alpha_{A,B} (§3.3, Fig. 3(d)): restrict each B-union to the value of its
+// A-ancestor, splice the now-degenerate B node out, then normalise.
+FRep Absorb(const FRep& in, AttrId a_attr, AttrId b_attr) {
+  const FTree& t = in.tree();
+  int a = t.FindAttr(a_attr);
+  int b = t.FindAttr(b_attr);
+  FDB_CHECK_MSG(a >= 0 && b >= 0, "absorb attribute not in the f-tree");
+  if (a == b) return in;  // same class: condition already holds
+  if (t.IsAncestor(b, a)) std::swap(a, b);  // orient: a above b
+  FDB_CHECK_MSG(t.IsAncestor(a, b),
+                "absorb requires ancestor/descendant classes");
+
+  // ---- Phase 1: restrict (tree unchanged). ----
+  FRep mid(t);
+  std::vector<char> on_path = SubtreeContains(t, b);
+  if (!in.empty()) {
+    mid.MarkNonEmpty();
+    auto rec = [&](auto&& self, uint32_t id, Value a_val,
+                   bool have_a) -> uint32_t {
+      const UnionNode& un = in.u(id);
+      if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &mid);
+      const size_t k = t.node(un.node).children.size();
+      if (un.node == b) {
+        FDB_CHECK_MSG(have_a, "B-union outside the scope of its A-ancestor");
+        auto it = std::lower_bound(un.values.begin(), un.values.end(), a_val);
+        if (it == un.values.end() || *it != a_val) return kNoUnion;
+        size_t e = static_cast<size_t>(it - un.values.begin());
+        uint32_t nid = mid.NewUnion(b);
+        mid.u(nid).values.push_back(a_val);
+        for (size_t j = 0; j < k; ++j) {
+          uint32_t cc = Copy(in, un.Child(e, j, k), &mid);
+          mid.u(nid).children.push_back(cc);
+        }
+        return nid;
+      }
+      uint32_t nid = mid.NewUnion(un.node);
+      std::vector<uint32_t> kept;
+      for (size_t e = 0; e < un.values.size(); ++e) {
+        Value av = un.node == a ? un.values[e] : a_val;
+        bool ha = have_a || un.node == a;
+        kept.clear();
+        bool dead = false;
+        for (size_t j = 0; j < k; ++j) {
+          uint32_t c = un.Child(e, j, k);
+          uint32_t nc = on_path[static_cast<size_t>(in.u(c).node)]
+                            ? self(self, c, av, ha)
+                            : Copy(in, c, &mid);
+          if (nc == kNoUnion) {
+            dead = true;
+            break;
+          }
+          kept.push_back(nc);
+        }
+        if (dead) continue;
+        mid.u(nid).values.push_back(un.values[e]);
+        for (uint32_t c : kept) mid.u(nid).children.push_back(c);
+      }
+      return mid.u(nid).values.empty() ? kNoUnion : nid;
+    };
+    for (uint32_t r : in.roots()) {
+      uint32_t nr = rec(rec, r, 0, false);
+      if (nr == kNoUnion) {
+        mid.MarkEmpty();
+        break;
+      }
+      mid.roots().push_back(nr);
+    }
+  }
+
+  // ---- Phase 2: fuse B into A; B's children take B's slot under its
+  // parent. Every surviving B-union has exactly one entry. ----
+  const int p = t.node(b).parent;
+  const size_t kb = t.node(b).children.size();
+  const auto& p_children = t.node(p).children;
+  const size_t slot_b = static_cast<size_t>(
+      std::find(p_children.begin(), p_children.end(), b) - p_children.begin());
+
+  FTree fused_tree = t;
+  fused_tree.FuseTree(a, b);
+  FRep out(std::move(fused_tree));
+  if (mid.empty()) return Normalize(out);
+  out.MarkNonEmpty();
+
+  std::vector<char> to_p = SubtreeContains(t, p);
+  auto rec2 = [&](auto&& self, uint32_t id) -> uint32_t {
+    const UnionNode& un = mid.u(id);
+    if (!to_p[static_cast<size_t>(un.node)]) return Copy(mid, id, &out);
+    const size_t k = t.node(un.node).children.size();
+    uint32_t nid = out.NewUnion(un.node);
+    out.u(nid).values = un.values;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      for (size_t j = 0; j < k; ++j) {
+        uint32_t c = un.Child(e, j, k);
+        if (un.node == p && j == slot_b) {
+          // Splice the single B entry's children into this slot.
+          const UnionNode& ub = mid.u(c);
+          FDB_CHECK(ub.values.size() == 1);
+          for (size_t s = 0; s < kb; ++s) {
+            uint32_t cc = Copy(mid, ub.Child(0, s, kb), &out);
+            out.u(nid).children.push_back(cc);
+          }
+        } else {
+          uint32_t cc = self(self, c);
+          out.u(nid).children.push_back(cc);
+        }
+      }
+    }
+    return nid;
+  };
+  for (uint32_t r : mid.roots()) out.roots().push_back(rec2(rec2, r));
+
+  // ---- Phase 3: normalise (push up what the fuse made independent). ----
+  return Normalize(out);
+}
+
+}  // namespace fdb

@@ -1,0 +1,107 @@
+#include <algorithm>
+
+#include "core/ops.h"
+#include "core/ops_common.h"
+
+namespace fdb {
+
+using ops_internal::SubtreeContains;
+
+namespace {
+
+uint32_t Copy(const FRep& src, uint32_t id, FRep* out) {
+  const UnionNode& un = src.u(id);
+  uint32_t nid = out->NewUnion(un.node);
+  out->u(nid).values = un.values;
+  out->u(nid).children.reserve(un.children.size());
+  for (uint32_t c : un.children) {
+    uint32_t cc = Copy(src, c, out);  // hoisted: Copy may grow the pool
+    out->u(nid).children.push_back(cc);
+  }
+  return nid;
+}
+
+// Removes a fully projected *leaf* node: its unions disappear and the
+// parent's dependency set inherits the leaf's (§3.4). Dropping a leaf union
+// never empties anything and never duplicates tuples — which is exactly why
+// projection sinks marked nodes to the leaves first.
+FRep RemoveInvisibleLeaf(const FRep& in, int n) {
+  const FTree& t = in.tree();
+  const int p = t.node(n).parent;
+
+  FTree new_tree = t;
+  new_tree.RemoveLeaf(n);
+
+  FRep out(std::move(new_tree));
+  if (in.empty()) return out;
+  out.MarkNonEmpty();
+
+  if (p == -1) {
+    for (uint32_t r : in.roots()) {
+      if (in.u(r).node == n) continue;
+      out.roots().push_back(Copy(in, r, &out));
+    }
+    return out;
+  }
+
+  std::vector<char> on_path = SubtreeContains(t, p);
+  const auto& p_children = t.node(p).children;
+  const size_t slot_n = static_cast<size_t>(
+      std::find(p_children.begin(), p_children.end(), n) - p_children.begin());
+
+  auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
+    const UnionNode& un = in.u(id);
+    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
+    const size_t k = t.node(un.node).children.size();
+    uint32_t nid = out.NewUnion(un.node);
+    out.u(nid).values = un.values;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      for (size_t j = 0; j < k; ++j) {
+        if (un.node == p && j == slot_n) continue;  // dropped slot
+        uint32_t cc = self(self, un.Child(e, j, k));
+        out.u(nid).children.push_back(cc);
+      }
+    }
+    return nid;
+  };
+  for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
+  return out;
+}
+
+}  // namespace
+
+// pi_keep (§3.4): mark attributes, sink fully marked nodes to the leaves by
+// swapping them with a child, remove them there, then normalise.
+FRep Project(const FRep& in, AttrSet keep) {
+  FRep cur = in;
+  for (size_t i = 0; i < cur.tree().pool_size(); ++i) {
+    FTreeNode& nd = cur.tree().node(static_cast<int>(i));
+    if (nd.alive) nd.visible = nd.visible.Intersect(keep);
+  }
+
+  for (;;) {
+    // Deepest fully-invisible node first (fewer swaps to reach a leaf).
+    int pick = -1, pick_depth = -1;
+    for (int n : cur.tree().AliveNodes()) {
+      if (!cur.tree().node(n).visible.Empty()) continue;
+      int d = cur.tree().Depth(n);
+      if (d > pick_depth) {
+        pick = n;
+        pick_depth = d;
+      }
+    }
+    if (pick == -1) break;
+    const FTreeNode& nd = cur.tree().node(pick);
+    if (nd.children.empty()) {
+      cur = RemoveInvisibleLeaf(cur, pick);
+    } else {
+      // chi_{pick, first child}: the child takes pick's place; pick sinks.
+      AttrId pa = nd.attrs.Min();
+      AttrId ca = cur.tree().node(nd.children.front()).attrs.Min();
+      cur = Swap(cur, pa, ca);
+    }
+  }
+  return Normalize(cur);
+}
+
+}  // namespace fdb

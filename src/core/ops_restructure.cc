@@ -1,0 +1,262 @@
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "core/ops.h"
+#include "core/ops_common.h"
+
+namespace fdb {
+
+using ops_internal::CopySubtree;
+using ops_internal::kNoUnion;
+using ops_internal::SubtreeContains;
+
+namespace {
+
+// Deep copy without memoisation: operators always produce tree-shaped
+// representations (every union has exactly one parent reference), so plain
+// duplication is exact. Swap deliberately duplicates the E_a subtrees per
+// paired B-value — that is the size growth the paper's bounds account for.
+uint32_t Copy(const FRep& src, uint32_t id, FRep* out) {
+  const UnionNode& un = src.u(id);
+  uint32_t nid = out->NewUnion(un.node);
+  out->u(nid).values = un.values;
+  out->u(nid).children.reserve(un.children.size());
+  for (uint32_t c : un.children) {
+    uint32_t cc = Copy(src, c, out);  // hoisted: Copy may grow the pool
+    out->u(nid).children.push_back(cc);
+  }
+  return nid;
+}
+
+}  // namespace
+
+FRep PushUp(const FRep& in, AttrId b_attr) {
+  const FTree& t = in.tree();
+  const int b = t.FindAttr(b_attr);
+  FDB_CHECK_MSG(b >= 0, "push-up attribute not in the f-tree");
+  const int a = t.node(b).parent;
+  FDB_CHECK_MSG(a != -1, "cannot push up a root node");
+  FDB_CHECK_MSG(!t.DependentOnSubtree(a, b),
+                "push-up would violate the path constraint: parent depends "
+                "on the lifted subtree");
+
+  const auto& a_children = t.node(a).children;
+  const size_t slot_b = static_cast<size_t>(
+      std::find(a_children.begin(), a_children.end(), b) - a_children.begin());
+  const size_t ka = a_children.size();
+  const int g = t.node(a).parent;
+
+  FTree new_tree = t;
+  new_tree.PushUpTree(b);
+
+  FRep out(std::move(new_tree));
+  if (in.empty()) return out;
+  out.MarkNonEmpty();
+
+  // Rebuilds one occurrence of A's union without its B slot; the hoisted
+  // B-union is taken from the first entry (all copies are equal because
+  // neither B nor its subtree depends on A).
+  auto rebuild_a = [&](uint32_t id, uint32_t* hoisted_b) {
+    const UnionNode& un = in.u(id);
+    FDB_CHECK(un.node == a);
+    *hoisted_b = Copy(in, un.Child(0, slot_b, ka), &out);
+    uint32_t nid = out.NewUnion(a);
+    out.u(nid).values = un.values;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      for (size_t j = 0; j < ka; ++j) {
+        if (j == slot_b) continue;
+        uint32_t cc = Copy(in, un.Child(e, j, ka), &out);
+        out.u(nid).children.push_back(cc);
+      }
+    }
+    return nid;
+  };
+
+  if (g == -1) {
+    // A is a root: the hoisted B becomes a new root right after A.
+    for (size_t i = 0; i < in.roots().size(); ++i) {
+      uint32_t r = in.roots()[i];
+      if (in.u(r).node == a) {
+        uint32_t hb = kNoUnion;
+        uint32_t na = rebuild_a(r, &hb);
+        out.roots().push_back(na);
+        out.roots().push_back(hb);
+      } else {
+        out.roots().push_back(Copy(in, r, &out));
+      }
+    }
+    return out;
+  }
+
+  // Otherwise rebuild along the path to G; each G-entry gains a new last
+  // slot holding the B-union extracted from that entry's A-union.
+  std::vector<char> on_path = SubtreeContains(t, g);
+  const size_t kg = t.node(g).children.size();
+  const auto& g_children = t.node(g).children;
+  const size_t slot_a = static_cast<size_t>(
+      std::find(g_children.begin(), g_children.end(), a) - g_children.begin());
+
+  auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
+    const UnionNode& un = in.u(id);
+    if (un.node == g) {
+      uint32_t nid = out.NewUnion(g);
+      out.u(nid).values = un.values;
+      for (size_t e = 0; e < un.values.size(); ++e) {
+        uint32_t hb = kNoUnion;
+        uint32_t na = kNoUnion;
+        for (size_t j = 0; j < kg; ++j) {
+          uint32_t c = un.Child(e, j, kg);
+          if (j == slot_a) {
+            na = rebuild_a(c, &hb);
+            out.u(nid).children.push_back(na);
+          } else {
+            uint32_t cc = Copy(in, c, &out);
+            out.u(nid).children.push_back(cc);
+          }
+        }
+        out.u(nid).children.push_back(hb);  // new last slot for B
+      }
+      return nid;
+    }
+    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
+    const size_t k = t.node(un.node).children.size();
+    uint32_t nid = out.NewUnion(un.node);
+    out.u(nid).values = un.values;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      for (size_t j = 0; j < k; ++j) {
+        uint32_t cc = self(self, un.Child(e, j, k));
+        out.u(nid).children.push_back(cc);
+      }
+    }
+    return nid;
+  };
+
+  for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
+  return out;
+}
+
+FRep Normalize(const FRep& in) {
+  FRep cur = in;
+  for (;;) {
+    const FTree& t = cur.tree();
+    int pick = -1;
+    for (size_t i = 0; i < t.pool_size(); ++i) {
+      int n = static_cast<int>(i);
+      if (t.node(n).alive && t.CanPushUp(n)) {
+        pick = n;
+        break;
+      }
+    }
+    if (pick == -1) return cur;
+    cur = PushUp(cur, t.node(pick).attrs.Min());
+  }
+}
+
+FRep Swap(const FRep& in, AttrId a_attr, AttrId b_attr) {
+  const FTree& t = in.tree();
+  const int a = t.FindAttr(a_attr);
+  const int b = t.FindAttr(b_attr);
+  FDB_CHECK_MSG(a >= 0 && b >= 0, "swap attribute not in the f-tree");
+  FDB_CHECK_MSG(t.node(b).parent == a,
+                "swap requires the second node to be a child of the first");
+
+  const auto& a_children = t.node(a).children;
+  const size_t ka = a_children.size();
+  const size_t slot_b = static_cast<size_t>(
+      std::find(a_children.begin(), a_children.end(), b) - a_children.begin());
+  // T_A: A's other children, in order.
+  std::vector<size_t> ta_slots;
+  for (size_t j = 0; j < ka; ++j) {
+    if (j != slot_b) ta_slots.push_back(j);
+  }
+  // Partition B's children exactly as SwapTree does (on the old tree).
+  const auto& b_children = t.node(b).children;
+  const size_t kb = b_children.size();
+  std::vector<size_t> tb_slots, tab_slots;
+  for (size_t j = 0; j < kb; ++j) {
+    if (t.DependentOnSubtree(a, b_children[j])) {
+      tab_slots.push_back(j);
+    } else {
+      tb_slots.push_back(j);
+    }
+  }
+
+  FTree new_tree = t;
+  new_tree.SwapTree(a, b);
+
+  FRep out(std::move(new_tree));
+  if (in.empty()) return out;
+  out.MarkNonEmpty();
+
+  // Fig. 4: regroups one occurrence of A's union by B-values using a
+  // min-priority queue of (b value, A-entry index, position).
+  auto swap_union = [&](uint32_t id) -> uint32_t {
+    const UnionNode& un = in.u(id);
+    FDB_CHECK(un.node == a);
+    using Key = std::tuple<Value, size_t, size_t>;
+    std::priority_queue<Key, std::vector<Key>, std::greater<Key>> pq;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      const UnionNode& ub = in.u(un.Child(e, slot_b, ka));
+      pq.push({ub.values[0], e, 0});
+    }
+    uint32_t nb = out.NewUnion(b);
+    while (!pq.empty()) {
+      const Value bmin = std::get<0>(pq.top());
+      uint32_t va = out.NewUnion(a);  // the union V_bmin of paired A-values
+      std::vector<uint32_t> fb;       // T_B children of bmin, captured once
+      bool captured = false;
+      while (!pq.empty() && std::get<0>(pq.top()) == bmin) {
+        auto [bv, e, pos] = pq.top();
+        pq.pop();
+        const uint32_t ub_id = un.Child(e, slot_b, ka);
+        const UnionNode& ub = in.u(ub_id);
+        if (!captured) {
+          for (size_t j : tb_slots) {
+            fb.push_back(Copy(in, ub.Child(pos, j, kb), &out));
+          }
+          captured = true;
+        }
+        // New A entry: value a_e with children T_A then T_AB.
+        out.u(va).values.push_back(un.values[e]);
+        for (size_t j : ta_slots) {
+          uint32_t cc = Copy(in, un.Child(e, j, ka), &out);
+          out.u(va).children.push_back(cc);
+        }
+        for (size_t j : tab_slots) {
+          uint32_t cc = Copy(in, ub.Child(pos, j, kb), &out);
+          out.u(va).children.push_back(cc);
+        }
+        if (pos + 1 < ub.values.size()) {
+          pq.push({ub.values[pos + 1], e, pos + 1});
+        }
+      }
+      out.u(nb).values.push_back(bmin);
+      for (uint32_t f : fb) out.u(nb).children.push_back(f);
+      out.u(nb).children.push_back(va);  // A is B's last child
+    }
+    return nb;
+  };
+
+  std::vector<char> on_path = SubtreeContains(t, a);
+  auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
+    const UnionNode& un = in.u(id);
+    if (un.node == a) return swap_union(id);
+    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
+    const size_t k = t.node(un.node).children.size();
+    uint32_t nid = out.NewUnion(un.node);
+    out.u(nid).values = un.values;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      for (size_t j = 0; j < k; ++j) {
+        uint32_t cc = self(self, un.Child(e, j, k));
+        out.u(nid).children.push_back(cc);
+      }
+    }
+    return nid;
+  };
+
+  for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
+  return out;
+}
+
+}  // namespace fdb

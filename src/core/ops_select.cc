@@ -1,0 +1,74 @@
+#include "core/ops.h"
+#include "core/ops_common.h"
+
+namespace fdb {
+
+using ops_internal::CopySubtree;
+using ops_internal::kNoUnion;
+using ops_internal::SubtreeContains;
+
+// sigma_{A theta c} (§3.3): one pass over the representation. Unions of A's
+// node drop the entries failing the comparison; an emptied union removes the
+// enclosing entry, cascading upwards. For theta = '=' the node afterwards
+// holds the single value c everywhere, so it is flagged constant and the
+// final normalisation floats it towards the root.
+FRep SelectConst(const FRep& in, AttrId attr, CmpOp op, Value c) {
+  const FTree& t = in.tree();
+  int x = t.FindAttr(attr);
+  FDB_CHECK_MSG(x >= 0, "selection attribute not in the f-tree");
+
+  FTree new_tree = t;
+  if (op == CmpOp::kEq) new_tree.node(x).constant = true;
+
+  FRep out(new_tree);
+  if (in.empty()) {
+    if (op == CmpOp::kEq) return Normalize(out);
+    return out;
+  }
+
+  std::vector<char> on_path = SubtreeContains(t, x);
+  std::vector<uint32_t> memo(in.NumUnions(), kNoUnion);
+
+  // Returns the rebuilt union or kNoUnion if it became empty.
+  auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
+    const UnionNode& un = in.u(id);
+    if (!on_path[static_cast<size_t>(un.node)]) {
+      return CopySubtree(in, id, &out, &memo);
+    }
+    const size_t k = t.node(un.node).children.size();
+    uint32_t nid = out.NewUnion(un.node);
+    std::vector<uint32_t> kept_children;
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      if (un.node == x && !EvalCmp(un.values[e], op, c)) continue;
+      kept_children.clear();
+      bool dead = false;
+      for (size_t j = 0; j < k; ++j) {
+        uint32_t nc = self(self, un.Child(e, j, k));
+        if (nc == kNoUnion) {
+          dead = true;
+          break;
+        }
+        kept_children.push_back(nc);
+      }
+      if (dead) continue;
+      out.u(nid).values.push_back(un.values[e]);
+      for (uint32_t nc : kept_children) out.u(nid).children.push_back(nc);
+    }
+    if (out.u(nid).values.empty()) return kNoUnion;
+    return nid;
+  };
+
+  out.MarkNonEmpty();
+  for (uint32_t r : in.roots()) {
+    uint32_t nr = rec(rec, r);
+    if (nr == kNoUnion) {
+      out.MarkEmpty();
+      break;
+    }
+    out.roots().push_back(nr);
+  }
+  if (op == CmpOp::kEq) return Normalize(out);
+  return out;
+}
+
+}  // namespace fdb

@@ -1,0 +1,88 @@
+#include "core/print.h"
+
+#include <sstream>
+
+namespace fdb {
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const FRep& rep, const PrintOptions& opts)
+      : rep_(rep), opts_(opts) {}
+
+  std::string Run() {
+    if (rep_.empty()) return opts_.unicode ? "∅" : "{}";
+    if (rep_.roots().empty()) return opts_.unicode ? "⟨⟩" : "<>";
+    for (size_t i = 0; i < rep_.roots().size(); ++i) {
+      if (i) os_ << Times();
+      PrintUnion(rep_.roots()[i], /*parenthesise=*/rep_.roots().size() > 1);
+      if (Truncated()) break;
+    }
+    std::string s = os_.str();
+    if (opts_.max_chars > 0 && s.size() > opts_.max_chars) {
+      s.resize(opts_.max_chars);
+      s += "...";
+    }
+    return s;
+  }
+
+ private:
+  const char* Times() const { return opts_.unicode ? " × " : " x "; }
+  const char* Cup() const { return opts_.unicode ? " ∪ " : " u "; }
+
+  bool Truncated() {
+    return opts_.max_chars > 0 &&
+           os_.tellp() > static_cast<std::streamoff>(opts_.max_chars);
+  }
+
+  void PrintSingletons(const FTreeNode& nd, Value v) {
+    bool first = true;
+    for (AttrId a : nd.attrs) {
+      if (!first) os_ << Times();
+      first = false;
+      os_ << (opts_.unicode ? "⟨" : "<");
+      bool is_string = false;
+      if (opts_.catalog != nullptr) {
+        if (opts_.attr_names) os_ << opts_.catalog->attr(a).name << ':';
+        is_string = opts_.catalog->attr(a).is_string;
+      }
+      if (is_string && opts_.dict != nullptr && opts_.dict->Contains(v)) {
+        os_ << opts_.dict->Decode(v);
+      } else {
+        os_ << v;
+      }
+      os_ << (opts_.unicode ? "⟩" : ">");
+    }
+  }
+
+  void PrintUnion(uint32_t id, bool parenthesise) {
+    const UnionNode& un = rep_.u(id);
+    const FTreeNode& nd = rep_.tree().node(un.node);
+    const size_t k = nd.children.size();
+    bool paren = parenthesise && un.values.size() > 1;
+    if (paren) os_ << '(';
+    for (size_t e = 0; e < un.values.size(); ++e) {
+      if (e) os_ << Cup();
+      PrintSingletons(nd, un.values[e]);
+      for (size_t j = 0; j < k; ++j) {
+        os_ << Times();
+        PrintUnion(un.Child(e, j, k), /*parenthesise=*/true);
+      }
+      if (Truncated()) break;
+    }
+    if (paren) os_ << ')';
+  }
+
+  const FRep& rep_;
+  const PrintOptions& opts_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string ToExpressionString(const FRep& rep, const PrintOptions& opts) {
+  return Printer(rep, opts).Run();
+}
+
+}  // namespace fdb

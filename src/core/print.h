@@ -1,0 +1,28 @@
+// Rendering f-representations in the paper's notation,
+// e.g.  <Istanbul> x (<Adnan> u <Yasemin>)  (Example 1).
+#ifndef FDB_CORE_PRINT_H_
+#define FDB_CORE_PRINT_H_
+
+#include <string>
+
+#include "common/dictionary.h"
+#include "core/frep.h"
+#include "storage/catalog.h"
+
+namespace fdb {
+
+/// Rendering options.
+struct PrintOptions {
+  bool unicode = true;        ///< ⟨v⟩ ∪ × vs. <v> u x
+  bool attr_names = false;    ///< ⟨item:Milk⟩ instead of ⟨Milk⟩
+  const Catalog* catalog = nullptr;      ///< for attribute names / types
+  const Dictionary* dict = nullptr;      ///< for decoding string values
+  size_t max_chars = 0;       ///< truncate output (0 = unlimited)
+};
+
+/// Renders the f-representation as a factorised algebraic expression.
+std::string ToExpressionString(const FRep& rep, const PrintOptions& opts = {});
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_PRINT_H_

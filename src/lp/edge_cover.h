@@ -1,0 +1,61 @@
+// Fractional edge cover numbers for root-to-leaf paths of f-trees (§2).
+//
+// For a path p, build the hypergraph whose vertices are the attribute
+// classes on p and whose edges are the query relations covering them; the
+// fractional edge cover number is the optimum of
+//
+//   min   sum_i x_i
+//   s.t.  sum_{i : class c covered by R_i} x_i >= 1   for every class c on p
+//         x_i >= 0.
+//
+// The cover structure of a path is fully described by one relation-set
+// bitmask per class, so solutions are memoised on the canonical (sorted,
+// de-duplicated) list of masks: the optimiser evaluates millions of paths
+// that share a handful of distinct cover structures.
+#ifndef FDB_LP_EDGE_COVER_H_
+#define FDB_LP_EDGE_COVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/attrset.h"
+
+namespace fdb {
+
+/// Solves one fractional edge cover instance.
+///
+/// `class_covers[i]` is the bitmask of relations covering the i-th attribute
+/// class on the path. Throws FdbError if some class has no covering relation
+/// (every attribute originates in some relation, so this indicates misuse).
+double FractionalEdgeCoverValue(const std::vector<uint64_t>& class_covers);
+
+/// Memoising wrapper around FractionalEdgeCoverValue.
+class EdgeCoverSolver {
+ public:
+  double Solve(std::vector<uint64_t> class_covers);
+
+  size_t cache_size() const { return cache_.size(); }
+  uint64_t solve_count() const { return solves_; }
+  uint64_t hit_count() const { return hits_; }
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<uint64_t>& v) const {
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (uint64_t x : v) {
+        h ^= x;
+        h *= 0x100000001b3ULL;
+        h ^= h >> 29;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<uint64_t>, double, VecHash> cache_;
+  uint64_t solves_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_LP_EDGE_COVER_H_

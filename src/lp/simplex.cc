@@ -1,0 +1,115 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/types.h"
+
+namespace fdb {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kBigM = 1e7;
+
+}  // namespace
+
+LpResult SolveCoveringLp(const std::vector<std::vector<double>>& a,
+                         const std::vector<double>& b,
+                         const std::vector<double>& c) {
+  const size_t m = a.size();     // constraints
+  const size_t n = c.size();     // structural variables
+  FDB_CHECK(b.size() == m);
+  for (const auto& row : a) FDB_CHECK(row.size() == n);
+  for (double bi : b) FDB_CHECK_MSG(bi >= 0.0, "covering LP requires b >= 0");
+
+  // Columns: [x (n) | surplus (m) | artificial (m) | rhs].
+  // Row i:  a_i x - s_i + t_i = b_i, basis starts at the artificials.
+  const size_t cols = n + 2 * m + 1;
+  std::vector<std::vector<double>> tab(m + 1, std::vector<double>(cols, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) tab[i][j] = a[i][j];
+    tab[i][n + i] = -1.0;          // surplus
+    tab[i][n + m + i] = 1.0;       // artificial
+    tab[i][cols - 1] = b[i];
+  }
+  // Objective row: min c^T x + M * sum(t). Stored as z-row coefficients.
+  std::vector<double>& z = tab[m];
+  for (size_t j = 0; j < n; ++j) z[j] = c[j];
+  for (size_t i = 0; i < m; ++i) z[n + m + i] = kBigM;
+
+  std::vector<size_t> basis(m);
+  for (size_t i = 0; i < m; ++i) basis[i] = n + m + i;
+
+  // Price out the initial basis (artificials have cost M).
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < cols; ++j) z[j] -= kBigM * tab[i][j];
+  }
+
+  // Simplex iterations with Bland's rule: entering variable = smallest index
+  // with negative reduced cost; leaving = smallest-index row among the
+  // minimum-ratio ties.
+  const size_t max_iters = 10000 * (m + n + 1);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    size_t enter = cols - 1;
+    for (size_t j = 0; j + 1 < cols; ++j) {
+      if (z[j] < -kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == cols - 1) break;  // optimal
+
+    size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      if (tab[i][enter] > kEps) {
+        double ratio = tab[i][cols - 1] / tab[i][enter];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == m || basis[i] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == m) {
+      // Unbounded: cannot happen for covering LPs (objective bounded below
+      // by 0), treat as failure.
+      return LpResult{};
+    }
+
+    // Pivot on (leave, enter).
+    double piv = tab[leave][enter];
+    for (size_t j = 0; j < cols; ++j) tab[leave][j] /= piv;
+    for (size_t i = 0; i <= m; ++i) {
+      if (i == leave) continue;
+      double f = tab[i][enter];
+      if (std::fabs(f) < kEps) continue;
+      for (size_t j = 0; j < cols; ++j) tab[i][j] -= f * tab[leave][j];
+    }
+    basis[leave] = enter;
+  }
+
+  LpResult res;
+  res.x.assign(n, 0.0);
+  double artificial_mass = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) {
+      res.x[basis[i]] = tab[i][cols - 1];
+    } else if (basis[i] >= n + m) {
+      artificial_mass += tab[i][cols - 1];
+    }
+  }
+  if (artificial_mass > 1e-6) {
+    res.feasible = false;  // phase-1 mass left: the LP is infeasible
+    return res;
+  }
+  res.feasible = true;
+  double obj = 0.0;
+  for (size_t j = 0; j < n; ++j) obj += c[j] * res.x[j];
+  res.objective = obj;
+  return res;
+}
+
+}  // namespace fdb

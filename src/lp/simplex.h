@@ -1,0 +1,34 @@
+// A small dense simplex solver.
+//
+// The paper computes the parameter s(T) — the maximal fractional edge cover
+// number over root-to-leaf paths of an f-tree — with GLPK. GLPK is not
+// available in this environment, so FDB ships its own solver. The LPs are
+// tiny (#variables = #relations <= 64, #constraints = #attribute classes on
+// one path <= 64), all coefficients are 0/1 and b = 1, so a dense Big-M
+// tableau simplex with Bland's anti-cycling rule is exact to fp tolerance
+// and more than fast enough.
+#ifndef FDB_LP_SIMPLEX_H_
+#define FDB_LP_SIMPLEX_H_
+
+#include <vector>
+
+namespace fdb {
+
+/// Result of an LP solve.
+struct LpResult {
+  bool feasible = false;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal solution (size = #variables)
+};
+
+/// Solves  min c^T x  subject to  A x >= b,  x >= 0.
+///
+/// Requires b >= 0 (always true for covering LPs). Uses the Big-M method
+/// with Bland's rule, so it terminates on degenerate instances.
+LpResult SolveCoveringLp(const std::vector<std::vector<double>>& a,
+                         const std::vector<double>& b,
+                         const std::vector<double>& c);
+
+}  // namespace fdb
+
+#endif  // FDB_LP_SIMPLEX_H_

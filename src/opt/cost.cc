@@ -1,0 +1,3 @@
+#include "opt/cost.h"
+
+// Header-only; this TU anchors the library target.

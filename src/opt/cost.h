@@ -1,0 +1,40 @@
+// Cost measures for f-plans (§4.1).
+//
+// Measure 1 (asymptotic): an f-plan's cost is s(f) = max_i s(T_i) over the
+// f-trees it passes through; plans are ordered lexicographically by
+// (s(f), s(T_final)) — the order <max x <s(T).
+// Measure 2 (estimates): the sum over intermediate and final f-trees of the
+// estimated f-representation size (see opt/estimates.h).
+#ifndef FDB_OPT_COST_H_
+#define FDB_OPT_COST_H_
+
+#include "core/ftree.h"
+
+namespace fdb {
+
+/// Tolerance for comparing LP-derived costs.
+inline constexpr double kCostEps = 1e-6;
+
+inline bool CostLess(double a, double b) { return a < b - kCostEps; }
+inline bool CostEq(double a, double b) {
+  return a <= b + kCostEps && b <= a + kCostEps;
+}
+
+/// Lexicographic (plan cost, result cost): true when plan 1 is strictly
+/// better (§4.1, f1 <max x <s(T) f2).
+inline bool PlanCostBetter(double max1, double final1, double max2,
+                           double final2) {
+  if (CostLess(max1, max2)) return true;
+  if (CostLess(max2, max1)) return false;
+  return CostLess(final1, final2);
+}
+
+/// Which cost measure an optimiser should use.
+enum class CostMode {
+  kAsymptotic,  ///< s(T) via fractional edge covers, minimax over the plan
+  kEstimates    ///< cardinality estimates, summed over the plan
+};
+
+}  // namespace fdb
+
+#endif  // FDB_OPT_COST_H_

@@ -1,0 +1,72 @@
+#include "opt/estimates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fdb {
+
+DatabaseStats DatabaseStats::Compute(const std::vector<const Relation*>& rels) {
+  DatabaseStats s;
+  s.rel_size.reserve(rels.size());
+  s.attr_distinct.assign(kMaxAttrs, 0.0);
+  for (const Relation* r : rels) {
+    s.rel_size.push_back(static_cast<double>(r->size()));
+    for (size_t c = 0; c < r->arity(); ++c) {
+      s.attr_distinct[r->schema()[c]] =
+          static_cast<double>(r->DistinctCount(c));
+    }
+  }
+  return s;
+}
+
+double EstimatePathCardinality(const DatabaseStats& stats, const FTree& tree,
+                               const std::vector<int>& path_nodes) {
+  // Relations involved: every relation covering a class on the path.
+  RelSet rels;
+  for (int n : path_nodes) {
+    if (!tree.node(n).constant) rels = rels.Union(tree.node(n).cover_rels);
+  }
+  double join_est = 1.0;
+  for (AttrId r : rels) {
+    if (r < stats.rel_size.size()) join_est *= std::max(stats.rel_size[r], 1.0);
+  }
+  double distinct_bound = 1.0;
+  for (int n : path_nodes) {
+    const FTreeNode& nd = tree.node(n);
+    if (nd.constant) continue;
+    // Selectivity: chain the class's attributes pairwise (System-R).
+    std::vector<double> d;
+    for (AttrId a : nd.attrs) {
+      double da = stats.attr_distinct[a];
+      if (da > 0.0) d.push_back(da);
+    }
+    if (d.empty()) d.push_back(1.0);
+    for (size_t i = 1; i < d.size(); ++i) {
+      join_est /= std::max(d[i], d[i - 1]);
+    }
+    distinct_bound *= *std::min_element(d.begin(), d.end());
+  }
+  return std::max(1.0, std::min(join_est, distinct_bound));
+}
+
+double EstimateFRepSize(const DatabaseStats& stats, const FTree& tree) {
+  double total = 0.0;
+  // Depth-first accumulation of the path to each node.
+  std::vector<int> path;
+  double sum = 0.0;
+  auto rec = [&](auto&& self, int n) -> void {
+    path.push_back(n);
+    const FTreeNode& nd = tree.node(n);
+    int vis = nd.visible.Size();
+    if (vis > 0 && !nd.constant) {
+      sum += vis * EstimatePathCardinality(stats, tree, path);
+    }
+    for (int c : nd.children) self(self, c);
+    path.pop_back();
+  };
+  for (int r : tree.roots()) rec(rec, r);
+  total = sum;
+  return total;
+}
+
+}  // namespace fdb

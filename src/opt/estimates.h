@@ -1,0 +1,41 @@
+// Cardinality-estimate cost measure (§4.1).
+//
+// The number of A-singletons in an f-representation over T equals
+// |Q_anc(A)(D)| where anc(A) is the set of classes from the root to A's
+// node; the representation size is the sum over visible attributes. FDB
+// estimates these cardinalities with textbook System-R style statistics
+// (relation sizes, per-attribute distinct counts; equality selectivity
+// 1/max(d1,d2)), capped by the product of per-class distinct counts.
+#ifndef FDB_OPT_ESTIMATES_H_
+#define FDB_OPT_ESTIMATES_H_
+
+#include <vector>
+
+#include "core/ftree.h"
+#include "storage/relation.h"
+
+namespace fdb {
+
+/// Catalogue statistics for one query's relations.
+struct DatabaseStats {
+  std::vector<double> rel_size;       ///< by query-local relation index
+  std::vector<double> attr_distinct;  ///< by AttrId (0 when absent)
+
+  /// Scans the relations (exact statistics; FDB is in-memory).
+  static DatabaseStats Compute(const std::vector<const Relation*>& rels);
+};
+
+/// Estimated size of the join of the relations covering `path_classes`
+/// projected onto those classes: min( product of relation sizes scaled by
+/// per-class equality selectivities, product of per-class distinct counts ).
+/// `tree` supplies cover sets; `path_nodes` are the node ids root..node.
+double EstimatePathCardinality(const DatabaseStats& stats, const FTree& tree,
+                               const std::vector<int>& path_nodes);
+
+/// Estimated f-representation size over `tree`:
+/// sum over alive nodes of |visible(n)| * |Q_anc(n)| (§4.1).
+double EstimateFRepSize(const DatabaseStats& stats, const FTree& tree);
+
+}  // namespace fdb
+
+#endif  // FDB_OPT_ESTIMATES_H_

@@ -1,0 +1,166 @@
+#include "opt/fplan_search.h"
+
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_map>
+
+namespace fdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct State {
+  FTree tree;
+  double dist = kInf;   // max-s (asymptotic) or summed estimate
+  int steps = 0;
+  int parent = -1;      // predecessor state
+  PlanStep step{};      // operator that produced this state
+  bool closed = false;
+  bool goal = false;
+};
+
+bool AllSatisfied(const FTree& t,
+                  const std::vector<std::pair<AttrId, AttrId>>& eqs) {
+  for (const auto& [a, b] : eqs) {
+    if (t.FindAttr(a) != t.FindAttr(b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FPlanSearchResult FindOptimalFPlan(
+    const FTree& input,
+    const std::vector<std::pair<AttrId, AttrId>>& equalities,
+    EdgeCoverSolver& solver, const FPlanSearchOptions& opts) {
+  FDB_CHECK_MSG(opts.mode == CostMode::kAsymptotic || opts.stats != nullptr,
+                "estimate-based search needs DatabaseStats");
+
+  auto tree_cost = [&](const FTree& t) {
+    return opts.mode == CostMode::kAsymptotic
+               ? t.Cost(solver)
+               : EstimateFRepSize(*opts.stats, t);
+  };
+
+  FTree start = input;
+  start.NormalizeTree();
+
+  std::vector<State> states;
+  std::unordered_map<std::string, int> index;
+  auto intern = [&](FTree&& t) {
+    std::string key = t.CanonicalKey();
+    auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    int id = static_cast<int>(states.size());
+    states.push_back(State{});
+    states.back().tree = std::move(t);
+    states.back().goal = AllSatisfied(states.back().tree, equalities);
+    index.emplace(std::move(key), id);
+    return id;
+  };
+
+  using PqItem = std::tuple<double, int, int>;  // (dist, steps, state)
+  std::priority_queue<PqItem, std::vector<PqItem>, std::greater<PqItem>> pq;
+
+  int start_id = intern(std::move(start));
+  states[start_id].dist =
+      opts.mode == CostMode::kAsymptotic ? tree_cost(states[start_id].tree)
+                                         : 0.0;
+  states[start_id].steps = 0;
+  pq.push({states[start_id].dist, 0, start_id});
+
+  FPlanSearchResult res;
+  int best_goal = -1;
+  double best_goal_dist = kInf;
+  double best_goal_final = kInf;
+
+  while (!pq.empty()) {
+    auto [dist, steps, id] = pq.top();
+    pq.pop();
+    if (states[id].closed) continue;
+    if (dist > states[id].dist + kCostEps ||
+        (CostEq(dist, states[id].dist) && steps > states[id].steps)) {
+      continue;  // stale entry
+    }
+    // All remaining states cost at least `dist`; once that exceeds the best
+    // goal, no better goal can appear.
+    if (best_goal >= 0 && CostLess(best_goal_dist, dist)) break;
+    states[id].closed = true;
+    ++res.states_explored;
+
+    if (states[id].goal) {
+      double final_cost = tree_cost(states[id].tree);
+      if (best_goal < 0 || CostLess(dist, best_goal_dist) ||
+          (CostEq(dist, best_goal_dist) &&
+           CostLess(final_cost, best_goal_final))) {
+        best_goal = id;
+        best_goal_dist = dist;
+        best_goal_final = final_cost;
+      }
+      continue;  // goal states need no outgoing edges
+    }
+    if (states.size() > opts.max_states) {
+      res.complete = false;
+      break;
+    }
+
+    // Candidate operators from this tree. Work on a copy: intern() below
+    // grows `states` and would invalidate a reference.
+    std::vector<PlanStep> moves;
+    const FTree t = states[id].tree;
+    for (int n : t.AliveNodes()) {
+      int p = t.node(n).parent;
+      if (p != -1) {
+        moves.push_back(PlanStep::MakeSwap(t.node(p).attrs.Min(),
+                                           t.node(n).attrs.Min()));
+      }
+    }
+    for (const auto& [a, b] : equalities) {
+      int na = t.FindAttr(a), nb = t.FindAttr(b);
+      FDB_CHECK(na >= 0 && nb >= 0);
+      if (na == nb) continue;
+      if (t.node(na).parent == t.node(nb).parent) {
+        moves.push_back(PlanStep::MakeMerge(a, b));
+      } else if (t.IsAncestor(na, nb) || t.IsAncestor(nb, na)) {
+        moves.push_back(PlanStep::MakeAbsorb(a, b));
+      }
+    }
+
+    for (const PlanStep& mv : moves) {
+      FTree next = SimulateStepOnTree(t, mv);
+      double c = tree_cost(next);
+      double ndist = opts.mode == CostMode::kAsymptotic
+                         ? std::max(states[id].dist, c)
+                         : states[id].dist + c;
+      int nid = intern(std::move(next));
+      if (states[nid].closed) continue;
+      bool better = CostLess(ndist, states[nid].dist) ||
+                    (CostEq(ndist, states[nid].dist) &&
+                     states[id].steps + 1 < states[nid].steps);
+      if (better) {
+        states[nid].dist = ndist;
+        states[nid].steps = states[id].steps + 1;
+        states[nid].parent = id;
+        states[nid].step = mv;
+        pq.push({ndist, states[nid].steps, nid});
+      }
+    }
+  }
+
+  FDB_CHECK_MSG(best_goal >= 0, "f-plan search found no plan");
+
+  // Reconstruct the step sequence.
+  std::vector<PlanStep> rev;
+  for (int id = best_goal; states[id].parent != -1; id = states[id].parent) {
+    rev.push_back(states[id].step);
+  }
+  res.plan.steps.assign(rev.rbegin(), rev.rend());
+  res.plan.cost_max_s = best_goal_dist;
+  res.plan.result_s = best_goal_final;
+  res.final_tree = states[best_goal].tree;
+  return res;
+}
+
+}  // namespace fdb

@@ -1,0 +1,49 @@
+// Exhaustive f-plan search (§4.2).
+//
+// The space of normalised f-trees forms a graph whose edges are f-plan
+// operators: swaps for every (parent, child) pair, and merge/absorb only
+// for class pairs that a pending query equality will merge (a valid f-plan
+// never merges classes that stay separate in the final tree). Under the
+// asymptotic cost measure the cost of a plan is the *maximum* s(T) along
+// its path, so the search is a bottleneck shortest path: Dijkstra ordered
+// by (max-so-far, #steps). Under the estimate measure edge weights add.
+// Among all goal trees (every equality satisfied) the result minimises the
+// plan cost and, among those, the cost of the final tree — the
+// lexicographic order <max x <s(T).
+#ifndef FDB_OPT_FPLAN_SEARCH_H_
+#define FDB_OPT_FPLAN_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fplan.h"
+#include "core/ftree.h"
+#include "lp/edge_cover.h"
+#include "opt/cost.h"
+#include "opt/estimates.h"
+
+namespace fdb {
+
+struct FPlanSearchOptions {
+  CostMode mode = CostMode::kAsymptotic;
+  const DatabaseStats* stats = nullptr;  ///< required for kEstimates
+  size_t max_states = 1u << 20;          ///< safety valve on the state space
+};
+
+struct FPlanSearchResult {
+  FPlan plan;            ///< steps + cost_max_s + result_s filled in
+  FTree final_tree;
+  size_t states_explored = 0;
+  bool complete = true;  ///< false when max_states truncated the search
+};
+
+/// Finds an optimal f-plan turning `input` into an f-tree where every
+/// equality holds. `input` is normalised first if needed.
+FPlanSearchResult FindOptimalFPlan(
+    const FTree& input,
+    const std::vector<std::pair<AttrId, AttrId>>& equalities,
+    EdgeCoverSolver& solver, const FPlanSearchOptions& opts = {});
+
+}  // namespace fdb
+
+#endif  // FDB_OPT_FPLAN_SEARCH_H_

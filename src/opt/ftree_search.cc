@@ -1,0 +1,176 @@
+#include "opt/ftree_search.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <optional>
+#include <set>
+
+#include "opt/cost.h"
+
+namespace fdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Search state: classes are indexed 0..m-1 and manipulated as bitmasks.
+struct Searcher {
+  std::vector<uint64_t> covers;          // class -> covering relation mask
+  std::vector<uint64_t> adj;             // class -> dependent classes mask
+  EdgeCoverSolver* solver;
+  uint64_t explored = 0;
+
+  // Edges of the best arrangement: (class, parent class or -1).
+  using Edges = std::vector<std::pair<int, int>>;
+  struct Sub {
+    double cost;
+    Edges edges;
+  };
+
+  std::vector<uint64_t> Components(uint64_t set) const {
+    std::vector<uint64_t> comps;
+    uint64_t remaining = set;
+    while (remaining) {
+      uint64_t seed = remaining & (~remaining + 1);
+      uint64_t comp = seed, frontier = seed;
+      while (frontier) {
+        int c = std::countr_zero(frontier);
+        frontier &= frontier - 1;
+        uint64_t nbrs = adj[static_cast<size_t>(c)] & set & ~comp;
+        comp |= nbrs;
+        frontier |= nbrs;
+      }
+      comps.push_back(comp);
+      remaining &= ~comp;
+    }
+    return comps;
+  }
+
+  // Best arrangement of `set` as a forest under the current path; fails
+  // (nullopt) when nothing beats `upper`.
+  std::optional<Sub> BestForest(uint64_t set, std::vector<uint64_t>& path,
+                                double upper, int parent) {
+    if (set == 0) return Sub{0.0, {}};
+    Sub out{0.0, {}};
+    for (uint64_t comp : Components(set)) {
+      auto sub = BestComponent(comp, path, upper, parent);
+      if (!sub) return std::nullopt;  // the max over components can't beat
+      out.cost = std::max(out.cost, sub->cost);
+      out.edges.insert(out.edges.end(), sub->edges.begin(), sub->edges.end());
+    }
+    return out;
+  }
+
+  std::optional<Sub> BestComponent(uint64_t comp, std::vector<uint64_t>& path,
+                                   double upper, int parent) {
+    // Dominance reduction: a class covered by a single relation never needs
+    // to sit above other classes — putting it higher only adds its cover
+    // mask to more root-to-leaf paths, and the leaf path through its
+    // relation's chain contains the same class set either way. So:
+    //  * a component made only of single-cover classes is one relation's
+    //    clique; emit it as a chain and price its single leaf path;
+    //  * otherwise only multi-relation classes are tried as roots.
+    uint64_t multi = 0;
+    for (uint64_t rest = comp; rest;) {
+      int c = std::countr_zero(rest);
+      rest &= rest - 1;
+      if (std::popcount(covers[static_cast<size_t>(c)]) >= 2) {
+        multi |= uint64_t{1} << c;
+      }
+    }
+    if (multi == 0) {
+      path.push_back(covers[static_cast<size_t>(std::countr_zero(comp))]);
+      ++explored;
+      double cost = solver->Solve(path);
+      path.pop_back();
+      if (!CostLess(cost, upper)) return std::nullopt;
+      Edges chain;
+      int prev = parent;
+      for (uint64_t rest = comp; rest;) {
+        int c = std::countr_zero(rest);
+        rest &= rest - 1;
+        chain.emplace_back(c, prev);
+        prev = c;
+      }
+      return Sub{cost, std::move(chain)};
+    }
+
+    double best = kInf;
+    Edges best_edges;
+    std::set<uint64_t> tried;  // root cover-signature dedup
+    for (uint64_t rest = multi; rest;) {
+      int r = std::countr_zero(rest);
+      rest &= rest - 1;
+      if (!tried.insert(covers[static_cast<size_t>(r)]).second) continue;
+      path.push_back(covers[static_cast<size_t>(r)]);
+      ++explored;
+      double prefix = solver->Solve(path);
+      double bound = std::min(upper, best);
+      if (!CostLess(prefix, bound)) {  // prefix only grows: prune
+        path.pop_back();
+        continue;
+      }
+      uint64_t remainder = comp & ~(uint64_t{1} << r);
+      std::optional<Sub> sub;
+      if (remainder == 0) {
+        sub = Sub{prefix, {}};
+      } else {
+        sub = BestForest(remainder, path, bound, r);
+        if (sub) sub->cost = std::max(sub->cost, prefix);
+      }
+      path.pop_back();
+      if (sub && CostLess(sub->cost, best)) {
+        best = sub->cost;
+        best_edges = std::move(sub->edges);
+        best_edges.emplace_back(r, parent);
+      }
+    }
+    if (best == kInf) return std::nullopt;
+    return Sub{best, std::move(best_edges)};
+  }
+};
+
+}  // namespace
+
+FTreeSearchResult FindOptimalFTree(const QueryInfo& info,
+                                   EdgeCoverSolver& solver) {
+  const auto& classes = info.classes;
+  const size_t m = classes.size();
+  FDB_CHECK_MSG(m <= 64, "too many attribute classes");
+
+  Searcher s;
+  s.solver = &solver;
+  s.covers.reserve(m);
+  for (const AttrSet& cls : classes) {
+    RelSet cover = info.RelsCovering(cls);
+    FDB_CHECK_MSG(!cover.Empty(), "class with no covering relation");
+    s.covers.push_back(cover.bits());
+  }
+  s.adj.assign(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (i != j && (s.covers[i] & s.covers[j]) != 0) {
+        s.adj[i] |= uint64_t{1} << j;
+      }
+    }
+  }
+
+  uint64_t all = m == 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1;
+  std::vector<uint64_t> path;
+  auto res = s.BestForest(all, path, kInf, -1);
+  FDB_CHECK_MSG(res.has_value(), "f-tree search found no tree");
+
+  std::vector<int> parent_of(m, -1);
+  for (const auto& [c, p] : res->edges) parent_of[static_cast<size_t>(c)] = p;
+
+  FTreeSearchResult out;
+  out.tree = FTreeFromShape(info, classes, parent_of);
+  FDB_CHECK_MSG(out.tree.IsNormalized(),
+                "constructed f-tree is not normalised");
+  out.cost = res->cost;
+  out.explored = s.explored;
+  return out;
+}
+
+}  // namespace fdb

@@ -1,0 +1,43 @@
+// Exhaustive search for an optimal f-tree of a query over flat input
+// (Experiment 1 / Fig. 5).
+//
+// Every normalised f-tree of the query arises from a recursive choice of
+// roots: pick a root class for each dependency-connected component of the
+// classes, remove it, recurse on the components of the remainder (each
+// sub-component shares a relation with the chosen root, so the construction
+// yields exactly the normalised trees; because the classes of one relation
+// form a dependency clique, the path constraint holds automatically).
+//
+// Two reductions keep the exponential space tractable at the paper's scale
+// (R = 8, A = 40, K = 9):
+//   * symmetry — classes with identical covering-relation sets are
+//     interchangeable, only one is tried as root;
+//   * branch-and-bound — the fractional cover of a path prefix only grows
+//     when extended, so any prefix already at or above the incumbent bound
+//     is cut.
+#ifndef FDB_OPT_FTREE_SEARCH_H_
+#define FDB_OPT_FTREE_SEARCH_H_
+
+#include <cstdint>
+
+#include "core/ftree.h"
+#include "lp/edge_cover.h"
+#include "storage/query.h"
+
+namespace fdb {
+
+/// Search outcome.
+struct FTreeSearchResult {
+  FTree tree;            ///< an optimal f-tree of the query
+  double cost = 0.0;     ///< s(tree) = s(Q) over normalised f-trees
+  uint64_t explored = 0; ///< number of root choices examined
+};
+
+/// Finds a normalised f-tree of minimal cost s(T) for the query described
+/// by `info`. `solver` memoises edge-cover LPs across calls.
+FTreeSearchResult FindOptimalFTree(const QueryInfo& info,
+                                   EdgeCoverSolver& solver);
+
+}  // namespace fdb
+
+#endif  // FDB_OPT_FTREE_SEARCH_H_

@@ -1,0 +1,157 @@
+#include "opt/greedy.h"
+
+#include <limits>
+#include <optional>
+
+namespace fdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Candidate {
+  std::vector<PlanStep> steps;
+  FTree result;
+  double max_cost = kInf;    // cost of the dearest tree along the steps
+  double final_cost = kInf;  // cost of the result tree
+};
+
+class GreedyPlanner {
+ public:
+  GreedyPlanner(EdgeCoverSolver& solver, const FPlanSearchOptions& opts)
+      : solver_(solver), opts_(opts) {}
+
+  double TreeCost(const FTree& t) {
+    return opts_.mode == CostMode::kAsymptotic
+               ? t.Cost(solver_)
+               : EstimateFRepSize(*opts_.stats, t);
+  }
+
+  // Applies `step` to the candidate, updating its cost bookkeeping.
+  void Apply(Candidate* c, const PlanStep& step) {
+    c->steps.push_back(step);
+    c->result = SimulateStepOnTree(c->result, step);
+    c->final_cost = TreeCost(c->result);
+    c->max_cost = std::max(c->max_cost, c->final_cost);
+  }
+
+  // Scenario: swap `up_attr`'s node upwards until it is an ancestor of
+  // `low_attr`'s node, then absorb. Fails when the nodes live in different
+  // trees of the forest.
+  std::optional<Candidate> TryAbsorb(const FTree& t, AttrId up_attr,
+                                     AttrId low_attr) {
+    Candidate c{{}, t, TreeCost(t), TreeCost(t)};
+    for (;;) {
+      int nu = c.result.FindAttr(up_attr);
+      int nl = c.result.FindAttr(low_attr);
+      if (c.result.IsAncestor(nu, nl)) break;
+      int p = c.result.node(nu).parent;
+      if (p == -1) return std::nullopt;  // reached a root: disjoint trees
+      Apply(&c, PlanStep::MakeSwap(c.result.node(p).attrs.Min(),
+                                   c.result.node(nu).attrs.Min()));
+    }
+    Apply(&c, PlanStep::MakeAbsorb(up_attr, low_attr));
+    return c;
+  }
+
+  // Scenario: swap both nodes upwards until they are siblings (children of
+  // their LCA, or both roots for disjoint trees), then merge. Fails when
+  // one node is an ancestor of the other (that is absorb territory).
+  std::optional<Candidate> TrySibling(const FTree& t, AttrId a_attr,
+                                      AttrId b_attr) {
+    Candidate c{{}, t, TreeCost(t), TreeCost(t)};
+    for (;;) {
+      int na = c.result.FindAttr(a_attr);
+      int nb = c.result.FindAttr(b_attr);
+      if (c.result.IsAncestor(na, nb) || c.result.IsAncestor(nb, na)) {
+        return std::nullopt;
+      }
+      int lca = c.result.Lca(na, nb);
+      int pa = c.result.node(na).parent;
+      int pb = c.result.node(nb).parent;
+      if (pa == lca && pb == lca) break;  // siblings (or both roots)
+      int lift = pa != lca ? na : nb;
+      int p = c.result.node(lift).parent;
+      Apply(&c, PlanStep::MakeSwap(c.result.node(p).attrs.Min(),
+                                   c.result.node(lift).attrs.Min()));
+    }
+    Apply(&c, PlanStep::MakeMerge(a_attr, b_attr));
+    return c;
+  }
+
+  // Best of the three restructuring scenarios for one condition.
+  std::optional<Candidate> BestForCondition(const FTree& t, AttrId a,
+                                            AttrId b) {
+    std::optional<Candidate> best;
+    for (auto& cand :
+         {TryAbsorb(t, a, b), TryAbsorb(t, b, a), TrySibling(t, a, b)}) {
+      if (!cand) continue;
+      if (!best || PlanCostBetter(cand->max_cost, cand->final_cost,
+                                  best->max_cost, best->final_cost)) {
+        best = cand;
+      }
+    }
+    return best;
+  }
+
+ private:
+  EdgeCoverSolver& solver_;
+  const FPlanSearchOptions& opts_;
+};
+
+}  // namespace
+
+FPlanSearchResult GreedyFPlan(
+    const FTree& input,
+    const std::vector<std::pair<AttrId, AttrId>>& equalities,
+    EdgeCoverSolver& solver, const FPlanSearchOptions& opts) {
+  FDB_CHECK_MSG(opts.mode == CostMode::kAsymptotic || opts.stats != nullptr,
+                "estimate-based greedy needs DatabaseStats");
+  GreedyPlanner planner(solver, opts);
+
+  FPlanSearchResult res;
+  FTree t = input;
+  t.NormalizeTree();
+  double max_cost = planner.TreeCost(t);
+
+  std::vector<std::pair<AttrId, AttrId>> pending;
+  for (const auto& eq : equalities) {
+    if (t.FindAttr(eq.first) != t.FindAttr(eq.second)) pending.push_back(eq);
+  }
+
+  while (!pending.empty()) {
+    // Cheapest condition first.
+    size_t best_i = pending.size();
+    std::optional<Candidate> best;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      auto cand =
+          planner.BestForCondition(t, pending[i].first, pending[i].second);
+      FDB_CHECK_MSG(cand.has_value(),
+                    "no restructuring scenario applies to a condition");
+      if (best_i == pending.size() ||
+          PlanCostBetter(cand->max_cost, cand->final_cost, best->max_cost,
+                         best->final_cost)) {
+        best_i = i;
+        best = std::move(cand);
+      }
+    }
+    res.plan.steps.insert(res.plan.steps.end(), best->steps.begin(),
+                          best->steps.end());
+    t = std::move(best->result);
+    max_cost = std::max(max_cost, best->max_cost);
+    ++res.states_explored;
+
+    std::vector<std::pair<AttrId, AttrId>> still;
+    for (const auto& eq : pending) {
+      if (t.FindAttr(eq.first) != t.FindAttr(eq.second)) still.push_back(eq);
+    }
+    pending = std::move(still);
+  }
+
+  res.plan.cost_max_s = max_cost;
+  res.plan.result_s = planner.TreeCost(t);
+  res.final_tree = std::move(t);
+  return res;
+}
+
+}  // namespace fdb

@@ -1,0 +1,69 @@
+#include "rdb/join_plan.h"
+
+#include <algorithm>
+
+namespace fdb {
+
+std::vector<size_t> PlanJoinOrder(const QueryInfo& info,
+                                  const std::vector<const Relation*>& rels) {
+  const size_t n = rels.size();
+  std::vector<bool> used(n, false);
+  std::vector<size_t> order;
+  order.reserve(n);
+
+  // Classes shared between two relations make them "connected".
+  auto shared_classes = [&](AttrSet left_attrs, size_t r) {
+    int count = 0;
+    for (const AttrSet& cls : info.classes) {
+      if (cls.Intersects(left_attrs) &&
+          cls.Intersects(info.rel_attrs[r])) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  // Seed: smallest relation.
+  size_t seed = 0;
+  for (size_t r = 1; r < n; ++r) {
+    if (rels[r]->size() < rels[seed]->size()) seed = r;
+  }
+  order.push_back(seed);
+  used[seed] = true;
+  AttrSet joined = info.rel_attrs[seed];
+
+  while (order.size() < n) {
+    size_t best = n;
+    int best_shared = -1;
+    for (size_t r = 0; r < n; ++r) {
+      if (used[r]) continue;
+      int s = shared_classes(joined, r);
+      if (s > best_shared ||
+          (s == best_shared && best < n &&
+           rels[r]->size() < rels[best]->size())) {
+        best = r;
+        best_shared = s;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+    joined = joined.Union(info.rel_attrs[best]);
+  }
+  return order;
+}
+
+std::vector<std::pair<AttrId, AttrId>> JoinKeys(const QueryInfo& info,
+                                                AttrSet left_attrs,
+                                                const Relation& right) {
+  std::vector<std::pair<AttrId, AttrId>> keys;
+  for (const AttrSet& cls : info.classes) {
+    AttrSet on_left = cls.Intersect(left_attrs);
+    AttrSet on_right = cls.Intersect(right.attr_set());
+    if (!on_left.Empty() && !on_right.Empty()) {
+      keys.emplace_back(on_left.Min(), on_right.Min());
+    }
+  }
+  return keys;
+}
+
+}  // namespace fdb

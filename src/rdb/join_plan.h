@@ -1,0 +1,30 @@
+// Join-order planning for the RDB baseline: a greedy connected order that
+// always joins on every equivalence class shared with the relations joined
+// so far (the "hand-crafted optimised query plan" of §5).
+#ifndef FDB_RDB_JOIN_PLAN_H_
+#define FDB_RDB_JOIN_PLAN_H_
+
+#include <vector>
+
+#include "storage/query.h"
+#include "storage/relation.h"
+
+namespace fdb {
+
+/// Returns the query-local relation indices in join order: start from the
+/// smallest relation, repeatedly append the relation that shares the most
+/// equivalence classes with the prefix (ties: smaller relation first);
+/// disconnected relations (Cartesian products) come when nothing connects.
+std::vector<size_t> PlanJoinOrder(const QueryInfo& info,
+                                  const std::vector<const Relation*>& rels);
+
+/// Join keys between a running result with attribute set `left_attrs` and
+/// relation `right`: one (left attr, right attr) pair per equivalence class
+/// with attributes on both sides.
+std::vector<std::pair<AttrId, AttrId>> JoinKeys(const QueryInfo& info,
+                                                AttrSet left_attrs,
+                                                const Relation& right);
+
+}  // namespace fdb
+
+#endif  // FDB_RDB_JOIN_PLAN_H_

@@ -1,0 +1,154 @@
+#include "rdb/rdb.h"
+
+#include <algorithm>
+
+#include "rdb/join_plan.h"
+
+namespace fdb {
+
+namespace {
+
+// Applies constant predicates and intra-relation class equalities.
+Relation PrepareRelation(const QueryInfo& info, const Relation& in,
+                         size_t rel_index, const Query& q) {
+  Relation rel = in;
+  for (const ConstPred& p : q.const_preds) {
+    if (!rel.HasAttr(p.attr)) continue;
+    size_t col = rel.ColumnOf(p.attr);
+    rel.Filter(
+        [&](size_t row) { return EvalCmp(rel.At(row, col), p.op, p.value); });
+  }
+  for (const AttrSet& cls : info.classes) {
+    AttrSet mine = cls.Intersect(info.rel_attrs[rel_index]);
+    if (mine.Size() < 2) continue;
+    std::vector<size_t> cols;
+    for (AttrId a : mine) cols.push_back(rel.ColumnOf(a));
+    rel.Filter([&](size_t row) {
+      for (size_t i = 1; i < cols.size(); ++i) {
+        if (rel.At(row, cols[i]) != rel.At(row, cols[0])) return false;
+      }
+      return true;
+    });
+  }
+  return rel;
+}
+
+// Sort-merge join; returns false when a limit was hit.
+bool SortMergeJoin(Relation* left, Relation* right,
+                   const std::vector<std::pair<AttrId, AttrId>>& keys,
+                   const RdbOptions& opts, const Deadline& deadline,
+                   Relation* out) {
+  std::vector<size_t> lcols, rcols;
+  for (const auto& [la, ra] : keys) {
+    lcols.push_back(left->ColumnOf(la));
+    rcols.push_back(right->ColumnOf(ra));
+  }
+  left->SortByColumns(lcols);
+  right->SortByColumns(rcols);
+
+  const size_t ln = left->size(), rn = right->size();
+  const size_t la = left->arity(), ra = right->arity();
+  std::vector<Value> tuple(la + ra);
+
+  auto key_cmp = [&](size_t li, size_t ri) {
+    for (size_t k = 0; k < lcols.size(); ++k) {
+      Value lv = left->At(li, lcols[k]);
+      Value rv = right->At(ri, rcols[k]);
+      if (lv != rv) return lv < rv ? -1 : 1;
+    }
+    return 0;
+  };
+
+  size_t li = 0, ri = 0;
+  while (li < ln && ri < rn) {
+    int c = keys.empty() ? 0 : key_cmp(li, ri);
+    if (c < 0) {
+      ++li;
+      continue;
+    }
+    if (c > 0) {
+      ++ri;
+      continue;
+    }
+    // Equal-key groups; for the keyless (product) case the groups are the
+    // whole relations.
+    size_t le = keys.empty() ? ln : li + 1;
+    size_t re = keys.empty() ? rn : ri + 1;
+    if (!keys.empty()) {
+      while (le < ln && key_cmp(le, ri) == 0) ++le;
+      while (re < rn && key_cmp(li, re) == 0) ++re;
+    }
+    for (size_t i = li; i < le; ++i) {
+      for (size_t j = ri; j < re; ++j) {
+        for (size_t cidx = 0; cidx < la; ++cidx) tuple[cidx] = left->At(i, cidx);
+        for (size_t cidx = 0; cidx < ra; ++cidx) {
+          tuple[la + cidx] = right->At(j, cidx);
+        }
+        out->AddTuple(tuple);
+        if (opts.max_result_tuples > 0 &&
+            out->size() >= opts.max_result_tuples) {
+          return false;
+        }
+      }
+      if (deadline.Expired()) return false;
+    }
+    li = le;
+    ri = re;
+  }
+  return true;
+}
+
+}  // namespace
+
+RdbResult RdbEvaluate(const Catalog& catalog,
+                      const std::vector<const Relation*>& rels,
+                      const Query& q, const RdbOptions& opts) {
+  QueryInfo info = AnalyzeQuery(catalog, q);
+  Deadline deadline(opts.timeout_seconds);
+
+  std::vector<Relation> prepared;
+  prepared.reserve(rels.size());
+  for (size_t r = 0; r < rels.size(); ++r) {
+    prepared.push_back(PrepareRelation(info, *rels[r], r, q));
+  }
+
+  std::vector<size_t> order = PlanJoinOrder(info, rels);
+
+  RdbResult res;
+  Relation current = std::move(prepared[order[0]]);
+  for (size_t step = 1; step < order.size(); ++step) {
+    Relation& next = prepared[order[step]];
+    auto keys = JoinKeys(info, current.attr_set(), next);
+    // Combined schema: current columns then next's.
+    std::vector<AttrId> schema = current.schema();
+    schema.insert(schema.end(), next.schema().begin(), next.schema().end());
+    Relation joined(schema);
+    if (!SortMergeJoin(&current, &next, keys, opts, deadline, &joined)) {
+      res.timed_out = true;
+      res.relation = std::move(joined);
+      return res;
+    }
+    current = std::move(joined);
+  }
+
+  // Projection + set semantics.
+  AttrSet keep = info.projection;
+  if (keep != current.attr_set()) {
+    std::vector<AttrId> schema = keep.ToVector();
+    std::vector<size_t> cols;
+    for (AttrId a : schema) cols.push_back(current.ColumnOf(a));
+    Relation projected(schema);
+    projected.Reserve(current.size());
+    std::vector<Value> tuple(schema.size());
+    for (size_t rix = 0; rix < current.size(); ++rix) {
+      for (size_t c = 0; c < cols.size(); ++c) tuple[c] = current.At(rix, cols[c]);
+      projected.AddTuple(tuple);
+    }
+    current = std::move(projected);
+  }
+  if (opts.deduplicate) current.SortLex();
+  res.relation = std::move(current);
+  return res;
+}
+
+}  // namespace fdb

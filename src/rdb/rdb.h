@@ -1,0 +1,45 @@
+// RDB: the homebred in-memory relational engine used as the paper's main
+// baseline (§5). It evaluates SPJ queries on flat relations with
+// hand-optimised multi-way sort-merge join plans over pre-sorted inputs:
+// constant selections are pushed to the scans, joins run in a greedy
+// connected order enforcing every shared equivalence class, projection and
+// de-duplication happen at the end.
+#ifndef FDB_RDB_RDB_H_
+#define FDB_RDB_RDB_H_
+
+#include <vector>
+
+#include "common/timer.h"
+#include "storage/query.h"
+#include "storage/relation.h"
+
+namespace fdb {
+
+/// Execution limits; the paper ran with a 100-second timeout and reports
+/// missing points where engines exceeded it.
+struct RdbOptions {
+  size_t max_result_tuples = 0;  ///< 0 = unlimited
+  double timeout_seconds = 0.0;  ///< 0 = none
+  bool deduplicate = true;       ///< sort + dedup the final result
+};
+
+/// Flat evaluation outcome.
+struct RdbResult {
+  Relation relation{std::vector<AttrId>{}};
+  bool timed_out = false;
+
+  size_t NumTuples() const { return relation.size(); }
+  /// "# of data elements" as plotted in Fig. 7/8: tuples x arity.
+  size_t NumDataElements() const {
+    return relation.size() * relation.arity();
+  }
+};
+
+/// Evaluates `q` over `rels` (indexed by query-local relation position).
+RdbResult RdbEvaluate(const Catalog& catalog,
+                      const std::vector<const Relation*>& rels,
+                      const Query& q, const RdbOptions& opts = {});
+
+}  // namespace fdb
+
+#endif  // FDB_RDB_RDB_H_

@@ -1,0 +1,92 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace fdb {
+namespace sql {
+
+std::vector<Token> Lex(const std::string& in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto push = [&](TokenKind k, std::string text, size_t pos, int64_t v = 0) {
+    out.push_back(Token{k, std::move(text), v, pos});
+  };
+  while (i < n) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t b = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(in[i])) ||
+                       in[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdent, in.substr(b, i - b), pos);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      size_t b = i;
+      if (c == '-') ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(in[i]))) ++i;
+      push(TokenKind::kInt, "", pos, std::stoll(in.substr(b, i - b)));
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        size_t b = ++i;
+        while (i < n && in[i] != '\'') ++i;
+        FDB_CHECK_MSG(i < n, "unterminated string literal at position " +
+                                 std::to_string(pos));
+        push(TokenKind::kString, in.substr(b, i - b), pos);
+        ++i;
+        continue;
+      }
+      case ',': push(TokenKind::kComma, ",", pos); ++i; continue;
+      case '.': push(TokenKind::kDot, ".", pos); ++i; continue;
+      case '*': push(TokenKind::kStar, "*", pos); ++i; continue;
+      case '=': push(TokenKind::kEq, "=", pos); ++i; continue;
+      case '!':
+        FDB_CHECK_MSG(i + 1 < n && in[i + 1] == '=',
+                      "expected '=' after '!' at position " +
+                          std::to_string(pos));
+        push(TokenKind::kNe, "!=", pos);
+        i += 2;
+        continue;
+      case '<':
+        if (i + 1 < n && in[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", pos);
+          i += 2;
+        } else if (i + 1 < n && in[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", pos);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && in[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", pos);
+          ++i;
+        }
+        continue;
+      default:
+        throw FdbError("unexpected character '" + std::string(1, c) +
+                       "' at position " + std::to_string(pos));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace fdb

@@ -1,0 +1,43 @@
+// Tokeniser for the SPJ SQL dialect (see sql/parser.h).
+#ifndef FDB_SQL_LEXER_H_
+#define FDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fdb {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,    // bare identifier
+  kInt,      // integer literal
+  kString,   // 'quoted string'
+  kComma,
+  kDot,
+  kStar,
+  kEq,       // =
+  kNe,       // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier or string body
+  int64_t value = 0;  // for kInt
+  size_t pos = 0;     // byte offset, for error messages
+};
+
+/// Tokenises `input`; throws FdbError on unexpected characters or an
+/// unterminated string literal.
+std::vector<Token> Lex(const std::string& input);
+
+}  // namespace sql
+}  // namespace fdb
+
+#endif  // FDB_SQL_LEXER_H_

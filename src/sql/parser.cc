@@ -1,0 +1,193 @@
+#include "sql/parser.h"
+
+#include "common/str.h"
+#include "sql/lexer.h"
+
+namespace fdb {
+
+namespace {
+
+using sql::Lex;
+using sql::Token;
+using sql::TokenKind;
+
+class Parser {
+ public:
+  Parser(const std::string& sql, const Catalog& catalog, Dictionary* dict)
+      : tokens_(Lex(sql)), catalog_(catalog), dict_(dict) {}
+
+  Query Run() {
+    ExpectKeyword("select");
+    bool star = false;
+    std::vector<std::string> select_attrs;
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+      star = true;
+    } else {
+      select_attrs.push_back(ParseAttrName());
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        select_attrs.push_back(ParseAttrName());
+      }
+    }
+
+    ExpectKeyword("from");
+    ParseRelation();
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      ParseRelation();
+    }
+
+    if (IsKeyword(Peek(), "where")) {
+      Advance();
+      ParseCondition();
+      while (IsKeyword(Peek(), "and")) {
+        Advance();
+        ParseCondition();
+      }
+    }
+    Expect(TokenKind::kEnd, "end of query");
+
+    if (!star) {
+      for (const std::string& name : select_attrs) {
+        q_.projection.Add(ResolveAttr(name, 0));
+      }
+    }
+    return q_;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void Fail(const std::string& what, const Token& t) {
+    throw FdbError("SQL parse error: expected " + what + " at position " +
+                   std::to_string(t.pos));
+  }
+
+  const Token& Expect(TokenKind k, const std::string& what) {
+    if (Peek().kind != k) Fail(what, Peek());
+    return Advance();
+  }
+
+  static bool IsKeyword(const Token& t, const std::string& kw) {
+    return t.kind == TokenKind::kIdent && ToLower(t.text) == kw;
+  }
+
+  void ExpectKeyword(const std::string& kw) {
+    if (!IsKeyword(Peek(), kw)) Fail("'" + kw + "'", Peek());
+    Advance();
+  }
+
+  void ParseRelation() {
+    const Token& t = Expect(TokenKind::kIdent, "relation name");
+    int rid = catalog_.FindRelation(t.text);
+    if (rid < 0) throw FdbError("unknown relation: " + t.text);
+    q_.rels.push_back(static_cast<RelId>(rid));
+  }
+
+  // attr or rel.attr; returns the attribute name after membership checks.
+  std::string ParseAttrName() {
+    const Token& t = Expect(TokenKind::kIdent, "attribute name");
+    if (Peek().kind != TokenKind::kDot) return t.text;
+    Advance();
+    const Token& a = Expect(TokenKind::kIdent, "attribute after '.'");
+    int rid = catalog_.FindRelation(t.text);
+    if (rid < 0) throw FdbError("unknown relation: " + t.text);
+    int aid = catalog_.FindAttribute(a.text);
+    if (aid < 0) throw FdbError("unknown attribute: " + a.text);
+    const auto& attrs = catalog_.rel(static_cast<RelId>(rid)).attrs;
+    bool member = false;
+    for (AttrId x : attrs) member = member || x == static_cast<AttrId>(aid);
+    if (!member) {
+      throw FdbError("attribute " + a.text + " is not in relation " + t.text);
+    }
+    return a.text;
+  }
+
+  AttrId ResolveAttr(const std::string& name, size_t pos) {
+    int aid = catalog_.FindAttribute(name);
+    if (aid < 0) {
+      throw FdbError("unknown attribute '" + name + "' at position " +
+                     std::to_string(pos));
+    }
+    return static_cast<AttrId>(aid);
+  }
+
+  static CmpOp OpOf(const Token& t) {
+    switch (t.kind) {
+      case TokenKind::kEq: return CmpOp::kEq;
+      case TokenKind::kNe: return CmpOp::kNe;
+      case TokenKind::kLt: return CmpOp::kLt;
+      case TokenKind::kLe: return CmpOp::kLe;
+      case TokenKind::kGt: return CmpOp::kGt;
+      case TokenKind::kGe: return CmpOp::kGe;
+      default: throw FdbError("SQL parse error: expected comparison at position " +
+                              std::to_string(t.pos));
+    }
+  }
+
+  void ParseCondition() {
+    // Left side: attribute or constant.
+    if (Peek().kind == TokenKind::kIdent) {
+      size_t at = Peek().pos;
+      std::string lhs = ParseAttrName();
+      AttrId la = ResolveAttr(lhs, at);
+      CmpOp op = OpOf(Advance());
+      const Token& r = Peek();
+      if (r.kind == TokenKind::kIdent) {
+        std::string rhs = ParseAttrName();
+        AttrId ra = ResolveAttr(rhs, r.pos);
+        FDB_CHECK_MSG(op == CmpOp::kEq,
+                      "only equality joins are supported between attributes");
+        q_.equalities.emplace_back(la, ra);
+      } else if (r.kind == TokenKind::kInt) {
+        Advance();
+        q_.const_preds.push_back(ConstPred{la, op, r.value});
+      } else if (r.kind == TokenKind::kString) {
+        Advance();
+        q_.const_preds.push_back(ConstPred{la, op, dict_->Intern(r.text)});
+      } else {
+        Fail("attribute or constant", r);
+      }
+      return;
+    }
+    // Constant on the left: flip.
+    const Token& l = Peek();
+    if (l.kind == TokenKind::kInt || l.kind == TokenKind::kString) {
+      Advance();
+      Value v = l.kind == TokenKind::kInt ? l.value : dict_->Intern(l.text);
+      CmpOp op = OpOf(Advance());
+      size_t at = Peek().pos;
+      std::string rhs = ParseAttrName();
+      AttrId ra = ResolveAttr(rhs, at);
+      // c op attr  ==  attr op' c with the comparison mirrored.
+      CmpOp flipped = op;
+      switch (op) {
+        case CmpOp::kLt: flipped = CmpOp::kGt; break;
+        case CmpOp::kLe: flipped = CmpOp::kGe; break;
+        case CmpOp::kGt: flipped = CmpOp::kLt; break;
+        case CmpOp::kGe: flipped = CmpOp::kLe; break;
+        default: break;
+      }
+      q_.const_preds.push_back(ConstPred{ra, flipped, v});
+      return;
+    }
+    Fail("condition", l);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Catalog& catalog_;
+  Dictionary* dict_;
+  Query q_;
+};
+
+}  // namespace
+
+Query ParseSql(const std::string& sql, const Catalog& catalog,
+               Dictionary* dict) {
+  return Parser(sql, catalog, dict).Run();
+}
+
+}  // namespace fdb

@@ -1,0 +1,31 @@
+// A recursive-descent parser for the SPJ fragment FDB evaluates:
+//
+//   SELECT * | attr [, attr]*
+//   FROM rel [, rel]*
+//   [WHERE cond [AND cond]*]
+//
+// where cond is `attr = attr` (equality join) or `attr theta const` with
+// theta in {=, !=, <>, <, <=, >, >=} and const an integer or 'string'
+// literal (interned into the database dictionary). Attributes may be
+// written bare (attribute names are global, following the paper's model) or
+// qualified as rel.attr, in which case membership is checked. Keywords are
+// case-insensitive.
+#ifndef FDB_SQL_PARSER_H_
+#define FDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/dictionary.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+
+namespace fdb {
+
+/// Parses `sql` against `catalog`; string literals are interned in `dict`.
+/// Throws FdbError with a position on syntax errors and unknown names.
+Query ParseSql(const std::string& sql, const Catalog& catalog,
+               Dictionary* dict);
+
+}  // namespace fdb
+
+#endif  // FDB_SQL_PARSER_H_

@@ -1,0 +1,50 @@
+#include "storage/catalog.h"
+
+#include <sstream>
+
+namespace fdb {
+
+AttrId Catalog::AddAttribute(const std::string& name, bool is_string) {
+  FDB_CHECK_MSG(attrs_.size() < kMaxAttrs,
+                "attribute universe full (max 64 attributes per database)");
+  FDB_CHECK_MSG(attr_by_name_.find(name) == attr_by_name_.end(),
+                "duplicate attribute name: " + name);
+  AttrId id = static_cast<AttrId>(attrs_.size());
+  attrs_.push_back(AttrInfo{name, is_string});
+  attr_by_name_.emplace(name, id);
+  return id;
+}
+
+RelId Catalog::AddRelation(const std::string& name, std::vector<AttrId> attrs) {
+  FDB_CHECK_MSG(rels_.size() < kMaxRels, "too many relations");
+  FDB_CHECK_MSG(rel_by_name_.find(name) == rel_by_name_.end(),
+                "duplicate relation name: " + name);
+  for (AttrId a : attrs) FDB_CHECK_MSG(a < attrs_.size(), "unknown attribute id");
+  RelId id = static_cast<RelId>(rels_.size());
+  rels_.push_back(RelInfo{name, std::move(attrs)});
+  rel_by_name_.emplace(name, id);
+  return id;
+}
+
+int Catalog::FindAttribute(const std::string& name) const {
+  auto it = attr_by_name_.find(name);
+  return it == attr_by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+int Catalog::FindRelation(const std::string& name) const {
+  auto it = rel_by_name_.find(name);
+  return it == rel_by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::string Catalog::ClassName(AttrSet cls) const {
+  std::ostringstream os;
+  bool first = true;
+  for (AttrId a : cls) {
+    if (!first) os << '=';
+    os << (a < attrs_.size() ? attrs_[a].name : "?" + std::to_string(a));
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace fdb

@@ -1,0 +1,68 @@
+// Schema catalog: global attribute universe and relation schemas.
+//
+// FDB follows the paper's query model: a query is over R1 x ... x Rn where
+// every attribute id occurs in exactly one relation of the query; equality
+// conditions link attributes (self-joins are expressed by registering an
+// aliased copy of the relation with fresh attribute ids).
+#ifndef FDB_STORAGE_CATALOG_H_
+#define FDB_STORAGE_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/attrset.h"
+#include "common/types.h"
+
+namespace fdb {
+
+/// Per-attribute metadata.
+struct AttrInfo {
+  std::string name;
+  bool is_string = false;  ///< values are dictionary codes
+};
+
+/// Per-relation metadata.
+struct RelInfo {
+  std::string name;
+  std::vector<AttrId> attrs;
+};
+
+/// Name/id registry for attributes and relation schemas.
+class Catalog {
+ public:
+  /// Registers an attribute; names must be unique. Throws when the 64-
+  /// attribute universe is full.
+  AttrId AddAttribute(const std::string& name, bool is_string = false);
+
+  /// Registers a relation schema over previously registered attributes.
+  RelId AddRelation(const std::string& name, std::vector<AttrId> attrs);
+
+  size_t num_attrs() const { return attrs_.size(); }
+  size_t num_rels() const { return rels_.size(); }
+
+  const AttrInfo& attr(AttrId id) const { return attrs_.at(id); }
+  const RelInfo& rel(RelId id) const { return rels_.at(id); }
+
+  /// Lookup by name; returns -1 (as the signed value) when absent.
+  int FindAttribute(const std::string& name) const;
+  int FindRelation(const std::string& name) const;
+
+  /// Attribute set of a relation.
+  AttrSet RelAttrSet(RelId id) const {
+    return AttrSet::FromVector(rels_.at(id).attrs);
+  }
+
+  /// Human-readable label of an attribute class, e.g. "item=pitem".
+  std::string ClassName(AttrSet cls) const;
+
+ private:
+  std::vector<AttrInfo> attrs_;
+  std::vector<RelInfo> rels_;
+  std::unordered_map<std::string, AttrId> attr_by_name_;
+  std::unordered_map<std::string, RelId> rel_by_name_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_STORAGE_CATALOG_H_

@@ -1,0 +1,102 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/str.h"
+
+namespace fdb {
+
+Relation ReadCsv(std::istream& in, const std::string& rel_name, char sep,
+                 Catalog* catalog, Dictionary* dict) {
+  std::string line;
+  FDB_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                "empty CSV input for relation " + rel_name);
+
+  std::vector<AttrId> attrs;
+  std::vector<bool> is_string;
+  for (const std::string& raw : Split(line, sep)) {
+    std::string field = Trim(raw);
+    FDB_CHECK_MSG(!field.empty(), "empty column name in CSV header");
+    bool str_col = false;
+    std::string name = field;
+    if (auto pos = field.rfind(":str"); pos != std::string::npos &&
+        pos == field.size() - 4) {
+      str_col = true;
+      name = field.substr(0, pos);
+    }
+    int existing = catalog->FindAttribute(name);
+    AttrId id;
+    if (existing >= 0) {
+      id = static_cast<AttrId>(existing);
+      FDB_CHECK_MSG(catalog->attr(id).is_string == str_col,
+                    "column type mismatch for attribute " + name);
+    } else {
+      id = catalog->AddAttribute(name, str_col);
+    }
+    attrs.push_back(id);
+    is_string.push_back(str_col);
+  }
+
+  Relation rel(attrs);
+  std::vector<Value> tuple(attrs.size());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, sep);
+    FDB_CHECK_MSG(fields.size() == attrs.size(),
+                  "row " + std::to_string(line_no) + " of " + rel_name +
+                      " has wrong arity");
+    for (size_t c = 0; c < fields.size(); ++c) {
+      std::string f = Trim(fields[c]);
+      if (is_string[c]) {
+        tuple[c] = dict->Intern(f);
+      } else {
+        int64_t v;
+        FDB_CHECK_MSG(ParseInt64(f, &v),
+                      "non-integer value '" + f + "' at row " +
+                          std::to_string(line_no) + " of " + rel_name);
+        tuple[c] = v;
+      }
+    }
+    rel.AddTuple(tuple);
+  }
+  catalog->AddRelation(rel_name, attrs);
+  return rel;
+}
+
+Relation ReadCsvFile(const std::string& path, const std::string& rel_name,
+                     char sep, Catalog* catalog, Dictionary* dict) {
+  std::ifstream in(path);
+  FDB_CHECK_MSG(in.good(), "cannot open CSV file: " + path);
+  return ReadCsv(in, rel_name, sep, catalog, dict);
+}
+
+void WriteCsv(std::ostream& out, const Relation& rel, const Catalog& catalog,
+              const Dictionary& dict, char sep) {
+  const auto& schema = rel.schema();
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (c) out << sep;
+    const AttrInfo& info = catalog.attr(schema[c]);
+    out << info.name;
+    if (info.is_string) out << ":str";
+  }
+  out << '\n';
+  for (size_t r = 0; r < rel.size(); ++r) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c) out << sep;
+      Value v = rel.At(r, c);
+      if (catalog.attr(schema[c]).is_string) {
+        out << dict.Decode(v);
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace fdb

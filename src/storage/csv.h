@@ -1,0 +1,34 @@
+// CSV/TSV import and export.
+//
+// Header syntax: `name` (integer column) or `name:str` (dictionary-encoded
+// string column). FDB and RDB read plain text, like the paper's prototypes.
+#ifndef FDB_STORAGE_CSV_H_
+#define FDB_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/dictionary.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace fdb {
+
+/// Parses a relation from a stream. Registers the attributes (if new) and
+/// the relation in `catalog`; strings are interned into `dict`.
+/// Throws FdbError on malformed rows (wrong arity, non-integer value in an
+/// integer column).
+Relation ReadCsv(std::istream& in, const std::string& rel_name, char sep,
+                 Catalog* catalog, Dictionary* dict);
+
+/// Reads from a file path.
+Relation ReadCsvFile(const std::string& path, const std::string& rel_name,
+                     char sep, Catalog* catalog, Dictionary* dict);
+
+/// Writes a relation with a header understood by ReadCsv.
+void WriteCsv(std::ostream& out, const Relation& rel, const Catalog& catalog,
+              const Dictionary& dict, char sep);
+
+}  // namespace fdb
+
+#endif  // FDB_STORAGE_CSV_H_

@@ -1,0 +1,110 @@
+#include "storage/generator.h"
+
+#include <algorithm>
+
+namespace fdb {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipf: return "zipf";
+  }
+  return "?";
+}
+
+Relation GenerateRelation(const std::vector<AttrId>& schema, size_t rows,
+                          int64_t domain, Distribution dist, double zipf_alpha,
+                          Rng& rng) {
+  Relation rel(schema);
+  rel.Reserve(rows);
+  std::vector<Value> tuple(schema.size());
+  if (dist == Distribution::kZipf) {
+    ZipfSampler zipf(domain, zipf_alpha);
+    for (size_t r = 0; r < rows; ++r) {
+      for (Value& v : tuple) v = zipf.Sample(rng);
+      rel.AddTuple(tuple);
+    }
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      for (Value& v : tuple) v = rng.Uniform(1, domain);
+      rel.AddTuple(tuple);
+    }
+  }
+  return rel;
+}
+
+std::vector<int> DistributeAttrs(int num_attrs, int num_rels) {
+  FDB_CHECK(num_rels >= 1);
+  FDB_CHECK_MSG(num_attrs >= num_rels,
+                "need at least one attribute per relation");
+  std::vector<int> counts(static_cast<size_t>(num_rels),
+                          num_attrs / num_rels);
+  for (int i = 0; i < num_attrs % num_rels; ++i) ++counts[static_cast<size_t>(i)];
+  return counts;
+}
+
+GeneratedWorkload GenerateWorkload(const WorkloadSpec& spec) {
+  FDB_CHECK(spec.num_attrs <= static_cast<int>(kMaxAttrs));
+  GeneratedWorkload w;
+  Rng rng(spec.seed);
+
+  std::vector<int> counts = DistributeAttrs(spec.num_attrs, spec.num_rels);
+  AttrId next = 0;
+  for (int r = 0; r < spec.num_rels; ++r) {
+    std::vector<AttrId> schema;
+    for (int i = 0; i < counts[static_cast<size_t>(r)]; ++i) {
+      schema.push_back(
+          w.catalog.AddAttribute("a" + std::to_string(next)));
+      ++next;
+    }
+    RelId rid = w.catalog.AddRelation("r" + std::to_string(r), schema);
+    w.relations.push_back(GenerateRelation(schema, spec.tuples_per_rel,
+                                           spec.domain, spec.dist,
+                                           spec.zipf_alpha, rng));
+    w.query.rels.push_back(rid);
+  }
+
+  // K non-redundant equalities: each must merge two distinct equivalence
+  // classes of the attributes drawn so far.
+  AttrSet universe = AttrSet::FirstN(static_cast<AttrId>(spec.num_attrs));
+  int max_eqs = spec.num_attrs - 1;
+  FDB_CHECK_MSG(spec.num_equalities <= max_eqs,
+                "cannot draw K non-redundant equalities with K >= A");
+  while (static_cast<int>(w.query.equalities.size()) < spec.num_equalities) {
+    AttrId a = static_cast<AttrId>(rng.Uniform(0, spec.num_attrs - 1));
+    AttrId b = static_cast<AttrId>(rng.Uniform(0, spec.num_attrs - 1));
+    if (a == b) continue;
+    auto classes = EqualityClasses(universe, w.query.equalities);
+    AttrSet ca, cb;
+    for (const AttrSet& c : classes) {
+      if (c.Contains(a)) ca = c;
+      if (c.Contains(b)) cb = c;
+    }
+    if (ca == cb) continue;  // redundant
+    w.query.equalities.emplace_back(a, b);
+  }
+  return w;
+}
+
+std::vector<std::pair<AttrId, AttrId>> DrawExtraEqualities(
+    const std::vector<AttrSet>& classes, int count, Rng& rng) {
+  // Work on a copy of the classes; each drawn equality merges two groups.
+  std::vector<AttrSet> groups = classes;
+  std::vector<std::pair<AttrId, AttrId>> out;
+  while (static_cast<int>(out.size()) < count && groups.size() >= 2) {
+    size_t i = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(groups.size()) - 1));
+    size_t j = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(groups.size()) - 1));
+    if (i == j) continue;
+    // Pick a random attribute from each group.
+    auto pick = [&](const AttrSet& g) {
+      std::vector<AttrId> v = g.ToVector();
+      return v[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+    };
+    out.emplace_back(pick(groups[i]), pick(groups[j]));
+    groups[i] = groups[i].Union(groups[j]);
+    groups.erase(groups.begin() + static_cast<ptrdiff_t>(j));
+  }
+  return out;
+}
+
+}  // namespace fdb

@@ -1,0 +1,67 @@
+// Synthetic data and query generation (§5, "Experimental Design").
+//
+// "We generate R relations and distribute uniformly A attributes over them.
+//  Each relation has a given number of tuples, each value is a natural
+//  number generated from 1 to M using uniform or Zipf distribution. The
+//  queries are equi-joins over all of these relations. Their selections are
+//  conjunctions of K non-redundant equalities."
+#ifndef FDB_STORAGE_GENERATOR_H_
+#define FDB_STORAGE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/relation.h"
+
+namespace fdb {
+
+/// Value distribution for generated columns.
+enum class Distribution { kUniform, kZipf };
+
+const char* DistributionName(Distribution d);
+
+/// Parameters of a random database + query instance.
+struct WorkloadSpec {
+  int num_rels = 4;          ///< R
+  int num_attrs = 10;        ///< A, distributed uniformly over relations
+  size_t tuples_per_rel = 1000;  ///< N (same for every relation)
+  int64_t domain = 100;      ///< M: values drawn from [1..M]
+  Distribution dist = Distribution::kUniform;
+  double zipf_alpha = 1.0;
+  int num_equalities = 2;    ///< K non-redundant equalities
+  uint64_t seed = 42;
+};
+
+/// A generated database plus the equi-join query over it.
+struct GeneratedWorkload {
+  Catalog catalog;
+  std::vector<Relation> relations;  ///< indexed by catalog RelId
+  Query query;
+};
+
+/// Generates one relation with `rows` tuples over the given schema.
+Relation GenerateRelation(const std::vector<AttrId>& schema, size_t rows,
+                          int64_t domain, Distribution dist, double zipf_alpha,
+                          Rng& rng);
+
+/// Distributes `num_attrs` attributes over `num_rels` relations as evenly as
+/// possible (every relation gets at least one attribute).
+std::vector<int> DistributeAttrs(int num_attrs, int num_rels);
+
+/// Builds a full workload: schema, data, and a query joining all relations
+/// with K non-redundant equalities (each equality merges two distinct
+/// attribute equivalence classes; attributes are drawn uniformly).
+GeneratedWorkload GenerateWorkload(const WorkloadSpec& spec);
+
+/// Draws `count` additional non-redundant equalities over the given
+/// attribute classes (used by Experiments 2 and 4: new queries on top of
+/// previous results). Returns fewer if the classes cannot support that many.
+std::vector<std::pair<AttrId, AttrId>> DrawExtraEqualities(
+    const std::vector<AttrSet>& classes, int count, Rng& rng);
+
+}  // namespace fdb
+
+#endif  // FDB_STORAGE_GENERATOR_H_

@@ -1,0 +1,111 @@
+#include "storage/query.h"
+
+#include <algorithm>
+
+namespace fdb {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(Value lhs, CmpOp op, Value rhs) {
+  switch (op) {
+    case CmpOp::kEq: return lhs == rhs;
+    case CmpOp::kNe: return lhs != rhs;
+    case CmpOp::kLt: return lhs < rhs;
+    case CmpOp::kLe: return lhs <= rhs;
+    case CmpOp::kGt: return lhs > rhs;
+    case CmpOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+AttrSet QueryInfo::ClassOf(AttrId attr) const {
+  for (const AttrSet& cls : classes) {
+    if (cls.Contains(attr)) return cls;
+  }
+  return AttrSet::Of({attr});
+}
+
+RelSet QueryInfo::RelsCovering(AttrSet attrs) const {
+  RelSet out;
+  for (int r = 0; r < num_rels; ++r) {
+    if (rel_attrs[static_cast<size_t>(r)].Intersects(attrs)) {
+      out.Add(static_cast<AttrId>(r));
+    }
+  }
+  return out;
+}
+
+std::vector<AttrSet> EqualityClasses(
+    AttrSet universe, const std::vector<std::pair<AttrId, AttrId>>& eqs) {
+  // Union-find over attribute ids.
+  std::vector<AttrId> parent(kMaxAttrs);
+  for (AttrId i = 0; i < kMaxAttrs; ++i) parent[i] = i;
+  auto find = [&](AttrId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : eqs) {
+    FDB_CHECK_MSG(universe.Contains(a) && universe.Contains(b),
+                  "equality over attribute not in the query");
+    AttrId ra = find(a), rb = find(b);
+    if (ra != rb) parent[ra] = rb;
+  }
+  std::vector<AttrSet> classes(kMaxAttrs);
+  for (AttrId a : universe) classes[find(a)].Add(a);
+  std::vector<AttrSet> out;
+  for (const AttrSet& c : classes) {
+    if (!c.Empty()) out.push_back(c);
+  }
+  return out;
+}
+
+QueryInfo AnalyzeQuery(const Catalog& catalog, const Query& q) {
+  QueryInfo info;
+  info.num_rels = static_cast<int>(q.rels.size());
+  FDB_CHECK_MSG(info.num_rels > 0, "query must reference at least one relation");
+  FDB_CHECK_MSG(q.rels.size() <= kMaxRels, "too many relations in query");
+
+  info.attr_rel.assign(kMaxAttrs, -1);
+  for (size_t r = 0; r < q.rels.size(); ++r) {
+    FDB_CHECK_MSG(q.rels[r] < catalog.num_rels(), "unknown relation in query");
+    AttrSet attrs = catalog.RelAttrSet(q.rels[r]);
+    for (AttrId a : attrs) {
+      FDB_CHECK_MSG(info.attr_rel[a] == -1,
+                    "attribute occurs in two query relations (alias the "
+                    "relation for self-joins): " + catalog.attr(a).name);
+      info.attr_rel[a] = static_cast<int>(r);
+    }
+    info.rel_attrs.push_back(attrs);
+    info.all_attrs = info.all_attrs.Union(attrs);
+  }
+
+  for (const auto& [a, b] : q.equalities) {
+    FDB_CHECK_MSG(info.all_attrs.Contains(a) && info.all_attrs.Contains(b),
+                  "equality over attribute not in the query");
+  }
+  for (const ConstPred& p : q.const_preds) {
+    FDB_CHECK_MSG(info.all_attrs.Contains(p.attr),
+                  "constant predicate over attribute not in the query");
+  }
+  FDB_CHECK_MSG(info.all_attrs.ContainsAll(q.projection),
+                "projection attribute not in the query");
+
+  info.classes = EqualityClasses(info.all_attrs, q.equalities);
+  info.projection = q.projection.Empty() ? info.all_attrs : q.projection;
+  return info;
+}
+
+}  // namespace fdb

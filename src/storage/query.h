@@ -1,0 +1,78 @@
+// Select-project-join queries and their static analysis.
+//
+// Q = pi_P sigma_phi (R1 x ... x Rn) where phi is a conjunction of
+// attribute-attribute equalities and attribute-constant comparisons (§2).
+#ifndef FDB_STORAGE_QUERY_H_
+#define FDB_STORAGE_QUERY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/attrset.h"
+#include "common/types.h"
+#include "storage/catalog.h"
+
+namespace fdb {
+
+/// Comparison operator for constant predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+bool EvalCmp(Value lhs, CmpOp op, Value rhs);
+
+/// A predicate "attr op constant".
+struct ConstPred {
+  AttrId attr;
+  CmpOp op;
+  Value value;
+};
+
+/// An SPJ query over catalog relations.
+struct Query {
+  /// Catalog relation ids; the position in this vector is the query-local
+  /// relation index used everywhere else (RelSet bits, f-tree bookkeeping).
+  std::vector<RelId> rels;
+
+  /// Equality conditions A = B over attributes of the query's relations.
+  std::vector<std::pair<AttrId, AttrId>> equalities;
+
+  /// Constant comparisons.
+  std::vector<ConstPred> const_preds;
+
+  /// Attributes to keep; an empty set means "project nothing away".
+  AttrSet projection;
+};
+
+/// Static analysis of a query against a catalog: relation attribute sets,
+/// attribute equivalence classes, and ownership of attributes by query-local
+/// relations. Validates that each attribute occurs in exactly one relation.
+struct QueryInfo {
+  int num_rels = 0;
+  AttrSet all_attrs;                 ///< attributes of all query relations
+  std::vector<AttrSet> rel_attrs;    ///< query-local rel -> its attributes
+  std::vector<int> attr_rel;         ///< attr -> query-local rel, -1 if none
+  std::vector<AttrSet> classes;      ///< attribute equivalence classes
+  AttrSet projection;                ///< resolved projection (all attrs if empty)
+
+  /// The class containing `attr` (singleton class if the attribute is not
+  /// mentioned in any equality).
+  AttrSet ClassOf(AttrId attr) const;
+
+  /// Relations (as a query-local bitmask) with an attribute in `attrs`.
+  RelSet RelsCovering(AttrSet attrs) const;
+};
+
+/// Analyses `q` against `catalog`; throws FdbError on malformed queries
+/// (unknown relations, attributes shared between two query relations,
+/// equalities or predicates over attributes outside the query).
+QueryInfo AnalyzeQuery(const Catalog& catalog, const Query& q);
+
+/// Merges equality pairs into equivalence classes over `universe`;
+/// attributes not mentioned get singleton classes.
+std::vector<AttrSet> EqualityClasses(
+    AttrSet universe, const std::vector<std::pair<AttrId, AttrId>>& eqs);
+
+}  // namespace fdb
+
+#endif  // FDB_STORAGE_QUERY_H_

@@ -1,0 +1,118 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace fdb {
+
+Relation::Relation(std::vector<AttrId> schema) : schema_(std::move(schema)) {
+  AttrSet seen;
+  for (AttrId a : schema_) {
+    FDB_CHECK_MSG(!seen.Contains(a), "duplicate attribute in relation schema");
+    seen.Add(a);
+  }
+}
+
+size_t Relation::ColumnOf(AttrId attr) const {
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (schema_[c] == attr) return c;
+  }
+  throw FdbError("attribute not in relation schema");
+}
+
+bool Relation::HasAttr(AttrId attr) const {
+  return std::find(schema_.begin(), schema_.end(), attr) != schema_.end();
+}
+
+void Relation::AddTuple(std::span<const Value> tuple) {
+  FDB_CHECK(tuple.size() == arity());
+  if (arity() == 0) {
+    nullary_count_ = 1;  // the nullary relation has at most one tuple
+    return;
+  }
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+  sort_order_.clear();
+}
+
+void Relation::SortByColumns(const std::vector<size_t>& cols) {
+  const size_t k = arity();
+  if (k == 0) return;
+  // Total column order: requested columns first, the rest as tie-breakers.
+  std::vector<size_t> order = cols;
+  std::vector<bool> used(k, false);
+  for (size_t c : order) {
+    FDB_CHECK(c < k);
+    used[c] = true;
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (!used[c]) order.push_back(c);
+  }
+
+  const size_t n = size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](size_t x, size_t y) {
+    for (size_t c : order) {
+      Value vx = data_[x * k + c], vy = data_[y * k + c];
+      if (vx != vy) return vx < vy;
+    }
+    return false;
+  });
+
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = perm[i];
+    if (kept > 0) {
+      // Skip duplicates (relations are sets).
+      const Value* prev = out.data() + (kept - 1) * k;
+      const Value* cur = data_.data() + r * k;
+      if (std::equal(prev, prev + k, cur)) continue;
+    }
+    out.insert(out.end(), data_.begin() + static_cast<ptrdiff_t>(r * k),
+               data_.begin() + static_cast<ptrdiff_t>((r + 1) * k));
+    ++kept;
+  }
+  data_ = std::move(out);
+  sort_order_ = order;
+}
+
+void Relation::SortLex() {
+  std::vector<size_t> cols(arity());
+  std::iota(cols.begin(), cols.end(), 0);
+  SortByColumns(cols);
+}
+
+size_t Relation::LowerBound(size_t lo, size_t hi, size_t col, Value v) const {
+  const size_t k = arity();
+  size_t count = hi - lo;
+  while (count > 0) {
+    size_t step = count / 2;
+    size_t mid = lo + step;
+    if (data_[mid * k + col] < v) {
+      lo = mid + 1;
+      count -= step + 1;
+    } else {
+      count = step;
+    }
+  }
+  return lo;
+}
+
+std::pair<size_t, size_t> Relation::EqualRange(size_t lo, size_t hi,
+                                               size_t col, Value v) const {
+  size_t b = LowerBound(lo, hi, col, v);
+  size_t e = LowerBound(b, hi, col, v + 1);
+  return {b, e};
+}
+
+size_t Relation::DistinctCount(size_t col) const {
+  std::unordered_set<Value> seen;
+  const size_t n = size(), k = arity();
+  for (size_t r = 0; r < n; ++r) seen.insert(data_[r * k + col]);
+  return seen.size();
+}
+
+}  // namespace fdb

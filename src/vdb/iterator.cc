@@ -1,0 +1,97 @@
+#include "vdb/iterator.h"
+
+#include <algorithm>
+
+namespace fdb {
+namespace vdb {
+
+bool ScanIterator::Next(Tuple* out) {
+  if (row_ >= rel_->size()) return false;
+  auto row = rel_->Row(row_);
+  out->assign(row.begin(), row.end());
+  ++row_;
+  return true;
+}
+
+bool FilterIterator::Next(Tuple* out) {
+  while (child_->Next(out)) {
+    if (pred_(*out)) return true;
+  }
+  return false;
+}
+
+HashJoinIterator::HashJoinIterator(
+    IteratorPtr left, IteratorPtr right,
+    std::vector<std::pair<size_t, size_t>> key_cols)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      key_cols_(std::move(key_cols)) {
+  schema_ = left_->schema();
+  schema_.insert(schema_.end(), right_->schema().begin(),
+                 right_->schema().end());
+}
+
+void HashJoinIterator::Open() {
+  left_->Open();
+  right_->Open();
+  build_.clear();
+  Tuple t;
+  std::vector<Value> key(key_cols_.size());
+  while (right_->Next(&t)) {
+    for (size_t k = 0; k < key_cols_.size(); ++k) {
+      key[k] = t[key_cols_[k].second];
+    }
+    build_.emplace(key, t);
+  }
+  have_probe_ = false;
+}
+
+bool HashJoinIterator::Next(Tuple* out) {
+  std::vector<Value> key(key_cols_.size());
+  for (;;) {
+    if (!have_probe_) {
+      if (!left_->Next(&probe_)) return false;
+      for (size_t k = 0; k < key_cols_.size(); ++k) {
+        key[k] = probe_[key_cols_[k].first];
+      }
+      auto range = build_.equal_range(key);
+      match_ = range.first;
+      match_end_ = range.second;
+      have_probe_ = true;
+    }
+    if (match_ == match_end_) {
+      have_probe_ = false;
+      continue;
+    }
+    *out = probe_;
+    out->insert(out->end(), match_->second.begin(), match_->second.end());
+    ++match_;
+    return true;
+  }
+}
+
+void HashJoinIterator::Close() {
+  left_->Close();
+  right_->Close();
+  build_.clear();
+}
+
+ProjectIterator::ProjectIterator(IteratorPtr child, std::vector<AttrId> keep)
+    : child_(std::move(child)), schema_(std::move(keep)) {
+  for (AttrId a : schema_) {
+    const auto& cs = child_->schema();
+    auto it = std::find(cs.begin(), cs.end(), a);
+    FDB_CHECK_MSG(it != cs.end(), "projection attribute missing from input");
+    cols_.push_back(static_cast<size_t>(it - cs.begin()));
+  }
+}
+
+bool ProjectIterator::Next(Tuple* out) {
+  if (!child_->Next(&buf_)) return false;
+  out->resize(cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) (*out)[i] = buf_[cols_[i]];
+  return true;
+}
+
+}  // namespace vdb
+}  // namespace fdb

@@ -1,0 +1,122 @@
+#include "vdb/vdb.h"
+
+#include <algorithm>
+
+#include "rdb/join_plan.h"
+
+namespace fdb {
+
+using vdb::FilterIterator;
+using vdb::HashJoinIterator;
+using vdb::Iterator;
+using vdb::IteratorPtr;
+using vdb::ProjectIterator;
+using vdb::ScanIterator;
+
+IteratorPtr VdbBuildPlan(const Catalog& catalog,
+                         const std::vector<const Relation*>& rels,
+                         const Query& q) {
+  QueryInfo info = AnalyzeQuery(catalog, q);
+
+  // Scans with pushed-down constant selections and intra-relation
+  // class equalities.
+  std::vector<IteratorPtr> inputs;
+  for (size_t r = 0; r < rels.size(); ++r) {
+    IteratorPtr it = std::make_unique<ScanIterator>(rels[r]);
+    const std::vector<AttrId>& schema = rels[r]->schema();
+    auto col_of = [&schema](AttrId a) {
+      return static_cast<size_t>(
+          std::find(schema.begin(), schema.end(), a) - schema.begin());
+    };
+    std::vector<std::tuple<size_t, CmpOp, Value>> consts;
+    for (const ConstPred& p : q.const_preds) {
+      if (rels[r]->HasAttr(p.attr)) {
+        consts.emplace_back(col_of(p.attr), p.op, p.value);
+      }
+    }
+    std::vector<std::pair<size_t, size_t>> eq_cols;
+    for (const AttrSet& cls : info.classes) {
+      AttrSet mine = cls.Intersect(info.rel_attrs[r]);
+      if (mine.Size() < 2) continue;
+      auto attrs = mine.ToVector();
+      for (size_t i = 1; i < attrs.size(); ++i) {
+        eq_cols.emplace_back(col_of(attrs[0]), col_of(attrs[i]));
+      }
+    }
+    if (!consts.empty() || !eq_cols.empty()) {
+      it = std::make_unique<FilterIterator>(
+          std::move(it), [consts, eq_cols](const Tuple& t) {
+            for (const auto& [col, op, v] : consts) {
+              if (!EvalCmp(t[col], op, v)) return false;
+            }
+            for (const auto& [c1, c2] : eq_cols) {
+              if (t[c1] != t[c2]) return false;
+            }
+            return true;
+          });
+    }
+    inputs.push_back(std::move(it));
+  }
+
+  // Left-deep hash joins in the same greedy order RDB uses.
+  std::vector<size_t> order = PlanJoinOrder(info, rels);
+  IteratorPtr root = std::move(inputs[order[0]]);
+  AttrSet joined = info.rel_attrs[order[0]];
+  for (size_t step = 1; step < order.size(); ++step) {
+    size_t r = order[step];
+    auto keys = JoinKeys(info, joined, *rels[r]);
+    const std::vector<AttrId>& ls = root->schema();
+    const std::vector<AttrId>& rs = inputs[r]->schema();
+    std::vector<std::pair<size_t, size_t>> key_cols;
+    for (const auto& [la, ra] : keys) {
+      size_t lc = static_cast<size_t>(
+          std::find(ls.begin(), ls.end(), la) - ls.begin());
+      size_t rc = static_cast<size_t>(
+          std::find(rs.begin(), rs.end(), ra) - rs.begin());
+      key_cols.emplace_back(lc, rc);
+    }
+    root = std::make_unique<HashJoinIterator>(std::move(root),
+                                              std::move(inputs[r]),
+                                              std::move(key_cols));
+    joined = joined.Union(info.rel_attrs[r]);
+  }
+
+  if (info.projection != info.all_attrs) {
+    root = std::make_unique<ProjectIterator>(std::move(root),
+                                             info.projection.ToVector());
+  }
+  return root;
+}
+
+VdbResult VdbEvaluate(const Catalog& catalog,
+                      const std::vector<const Relation*>& rels,
+                      const Query& q, const VdbOptions& opts) {
+  IteratorPtr plan = VdbBuildPlan(catalog, rels, q);
+  Deadline deadline(opts.timeout_seconds);
+
+  VdbResult res;
+  Relation out(plan->schema());
+  plan->Open();
+  Tuple t;
+  size_t since_check = 0;
+  while (plan->Next(&t)) {
+    out.AddTuple(t);
+    if (opts.max_result_tuples > 0 && out.size() >= opts.max_result_tuples) {
+      res.timed_out = true;
+      break;
+    }
+    if (++since_check >= 4096) {
+      since_check = 0;
+      if (deadline.Expired()) {
+        res.timed_out = true;
+        break;
+      }
+    }
+  }
+  plan->Close();
+  if (opts.deduplicate && !res.timed_out) out.SortLex();
+  res.relation = std::move(out);
+  return res;
+}
+
+}  // namespace fdb

@@ -1,0 +1,46 @@
+// VDB query evaluation: builds a Volcano iterator plan for an SPJ query
+// (scans + pushed-down filters + left-deep hash joins + projection) and
+// runs it to completion. See vdb/iterator.h for why this engine exists.
+#ifndef FDB_VDB_VDB_H_
+#define FDB_VDB_VDB_H_
+
+#include <vector>
+
+#include "common/timer.h"
+#include "storage/query.h"
+#include "storage/relation.h"
+#include "vdb/iterator.h"
+
+namespace fdb {
+
+/// Limits, mirroring RdbOptions.
+struct VdbOptions {
+  size_t max_result_tuples = 0;
+  double timeout_seconds = 0.0;
+  bool deduplicate = true;
+};
+
+struct VdbResult {
+  Relation relation{std::vector<AttrId>{}};
+  bool timed_out = false;
+
+  size_t NumTuples() const { return relation.size(); }
+  size_t NumDataElements() const {
+    return relation.size() * relation.arity();
+  }
+};
+
+/// Builds the iterator plan for `q` without executing it (exposed for
+/// tests and examples that want to drive the Volcano interface directly).
+vdb::IteratorPtr VdbBuildPlan(const Catalog& catalog,
+                              const std::vector<const Relation*>& rels,
+                              const Query& q);
+
+/// Executes `q` to completion.
+VdbResult VdbEvaluate(const Catalog& catalog,
+                      const std::vector<const Relation*>& rels,
+                      const Query& q, const VdbOptions& opts = {});
+
+}  // namespace fdb
+
+#endif  // FDB_VDB_VDB_H_

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "core/enumerate.h"
+#include "core/ground.h"
+#include "core/ops.h"
+#include "opt/ftree_search.h"
+#include "storage/generator.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+Relation MakeRel(std::vector<AttrId> schema,
+                 std::vector<std::vector<Value>> rows) {
+  Relation r(std::move(schema));
+  for (auto& row : rows) r.AddTuple(row);
+  return r;
+}
+
+// Reference aggregates by enumeration.
+struct Ref {
+  double count = 0, sum = 0;
+  Value min = std::numeric_limits<Value>::max();
+  Value max = std::numeric_limits<Value>::min();
+  std::set<Value> distinct;
+};
+
+Ref Enumerated(const FRep& rep, AttrId attr) {
+  Ref ref;
+  TupleEnumerator en(rep);
+  while (en.Next()) {
+    Value v = en.ValueOf(attr);
+    ref.count += 1;
+    ref.sum += static_cast<double>(v);
+    ref.min = std::min(ref.min, v);
+    ref.max = std::max(ref.max, v);
+    ref.distinct.insert(v);
+  }
+  return ref;
+}
+
+TEST(Aggregate, SingleRelation) {
+  Relation r = MakeRel({0, 1}, {{1, 10}, {1, 20}, {2, 30}});
+  FRep rep = GroundRelation(r, 0);
+  EXPECT_EQ(Count(rep), 3.0);
+  EXPECT_EQ(Sum(rep, 1), 60.0);
+  EXPECT_EQ(Sum(rep, 0), 4.0);
+  EXPECT_EQ(Min(rep, 1), 10);
+  EXPECT_EQ(Max(rep, 1), 30);
+  EXPECT_NEAR(Avg(rep, 1), 20.0, 1e-9);
+  EXPECT_EQ(CountDistinct(rep, 0), 2u);
+  EXPECT_EQ(CountDistinct(rep, 1), 3u);
+}
+
+TEST(Aggregate, SumDistributesOverProduct) {
+  // R(A) x S(B): SUM(A) = sum_A(R) * |S|, computed without expanding the
+  // product.
+  Relation r = MakeRel({0}, {{1}, {2}, {3}});
+  Relation s = MakeRel({1}, {{10}, {20}});
+  FRep prod = Product(GroundRelation(r, 0), GroundRelation(s, 1));
+  EXPECT_EQ(Count(prod), 6.0);
+  EXPECT_EQ(Sum(prod, 0), 6.0 * 2.0 / 1.0);  // (1+2+3) * |S|
+  EXPECT_EQ(Sum(prod, 1), 30.0 * 3.0 / 1.0); // (10+20) * |R|
+  EXPECT_EQ(Min(prod, 1), 10);
+  EXPECT_EQ(Max(prod, 0), 3);
+}
+
+TEST(Aggregate, NestedFactorisation) {
+  // Grouped structure: A -> B; sums must weight B-sums by group sizes.
+  Relation r = MakeRel({0, 1}, {{1, 5}, {1, 7}, {2, 9}});
+  FRep rep = GroundRelation(r, 0);
+  EXPECT_EQ(Sum(rep, 1), 21.0);
+  EXPECT_EQ(Sum(rep, 0), 1.0 + 1.0 + 2.0);
+}
+
+TEST(Aggregate, EmptyRelation) {
+  FRep rep{PathFTree({0}, 0)};
+  EXPECT_EQ(Count(rep), 0.0);
+  EXPECT_EQ(Sum(rep, 0), 0.0);
+  EXPECT_EQ(CountDistinct(rep, 0), 0u);
+  EXPECT_THROW(Min(rep, 0), FdbError);
+  EXPECT_THROW(Max(rep, 0), FdbError);
+  EXPECT_THROW(Avg(rep, 0), FdbError);
+}
+
+TEST(Aggregate, UnknownAttributeThrows) {
+  Relation r = MakeRel({0}, {{1}});
+  FRep rep = GroundRelation(r, 0);
+  EXPECT_THROW(Sum(rep, 42), FdbError);
+  EXPECT_THROW(Min(rep, 42), FdbError);
+}
+
+TEST(Aggregate, ClassAttributesShareValues) {
+  // Class {A,B}: SUM(A) = SUM(B).
+  Relation r = MakeRel({0, 1}, {{3, 3}, {4, 4}});
+  FTree t;
+  AttrSet cls = AttrSet::Of({0, 1});
+  int n = t.NewNode(cls, cls, RelSet::Of({0}), RelSet::Of({0}));
+  t.AttachRoot(n);
+  FRep rep = GroundQuery(t, {&r});
+  EXPECT_EQ(Sum(rep, 0), 7.0);
+  EXPECT_EQ(Sum(rep, 1), 7.0);
+}
+
+TEST(Aggregate, MatchesEnumerationOnGrocery) {
+  auto db = testing_util::MakeGroceryDb();
+  Engine engine(db.get());
+  FdbResult res = engine.EvaluateFlat(testing_util::GroceryQ1(*db));
+  for (const char* name : {"oid", "o_item", "dispatcher"}) {
+    AttrId a = db->Attr(name);
+    Ref ref = Enumerated(res.rep, a);
+    EXPECT_EQ(Count(res.rep), ref.count);
+    EXPECT_NEAR(Sum(res.rep, a), ref.sum, 1e-9) << name;
+    EXPECT_EQ(Min(res.rep, a), ref.min) << name;
+    EXPECT_EQ(Max(res.rep, a), ref.max) << name;
+    EXPECT_EQ(CountDistinct(res.rep, a), ref.distinct.size()) << name;
+  }
+}
+
+class AggregateProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregateProperty, MatchesEnumerationOnRandomJoins) {
+  WorkloadSpec spec;
+  spec.num_rels = 3;
+  spec.num_attrs = 7;
+  spec.tuples_per_rel = 30;
+  spec.domain = 6;
+  spec.num_equalities = 2;
+  spec.seed = GetParam();
+  GeneratedWorkload w = GenerateWorkload(spec);
+  std::vector<const Relation*> rels;
+  for (const Relation& r : w.relations) rels.push_back(&r);
+  QueryInfo info = AnalyzeQuery(w.catalog, w.query);
+  EdgeCoverSolver solver;
+  FRep rep = GroundQuery(FindOptimalFTree(info, solver).tree, rels);
+  if (rep.empty()) GTEST_SKIP();
+  for (AttrId a : info.all_attrs) {
+    Ref ref = Enumerated(rep, a);
+    EXPECT_NEAR(Sum(rep, a), ref.sum, 1e-6) << "attr " << a;
+    EXPECT_EQ(Min(rep, a), ref.min) << "attr " << a;
+    EXPECT_EQ(Max(rep, a), ref.max) << "attr " << a;
+    EXPECT_EQ(CountDistinct(rep, a), ref.distinct.size()) << "attr " << a;
+    EXPECT_EQ(Count(rep), ref.count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace fdb

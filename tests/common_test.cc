@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/attrset.h"
+#include "common/dictionary.h"
+#include "common/rng.h"
+#include "common/str.h"
+#include "common/types.h"
+
+namespace fdb {
+namespace {
+
+TEST(AttrSet, BasicOps) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  s.Add(3);
+  s.Add(7);
+  s.Add(63);
+  EXPECT_EQ(s.Size(), 3);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Min(), 7u);
+}
+
+TEST(AttrSet, SetAlgebra) {
+  AttrSet a = AttrSet::Of({1, 2, 3});
+  AttrSet b = AttrSet::Of({3, 4});
+  EXPECT_EQ(a.Union(b), AttrSet::Of({1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), AttrSet::Of({3}));
+  EXPECT_EQ(a.Minus(b), AttrSet::Of({1, 2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(AttrSet::Of({5})));
+  EXPECT_TRUE(a.ContainsAll(AttrSet::Of({1, 3})));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(AttrSet, FirstN) {
+  EXPECT_EQ(AttrSet::FirstN(0).Size(), 0);
+  EXPECT_EQ(AttrSet::FirstN(5), AttrSet::Of({0, 1, 2, 3, 4}));
+  EXPECT_EQ(AttrSet::FirstN(64).Size(), 64);
+}
+
+TEST(AttrSet, IterationAscending) {
+  AttrSet s = AttrSet::Of({9, 1, 33});
+  std::vector<AttrId> got = s.ToVector();
+  EXPECT_EQ(got, (std::vector<AttrId>{1, 9, 33}));
+}
+
+TEST(AttrSet, OutOfRangeThrows) {
+  AttrSet s;
+  EXPECT_THROW(s.Add(64), FdbError);
+  EXPECT_THROW(AttrSet().Min(), FdbError);
+}
+
+TEST(Dictionary, InternAndDecode) {
+  Dictionary d;
+  Value milk = d.Intern("Milk");
+  Value cheese = d.Intern("Cheese");
+  EXPECT_NE(milk, cheese);
+  EXPECT_EQ(d.Intern("Milk"), milk);  // idempotent
+  EXPECT_EQ(d.Decode(milk), "Milk");
+  EXPECT_EQ(d.Lookup("Cheese"), cheese);
+  EXPECT_EQ(d.Lookup("absent"), -1);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_THROW(d.Decode(99), FdbError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(1, 20);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(1, 10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Zipf, SkewsTowardsSmallValues) {
+  Rng rng(4);
+  ZipfSampler zipf(100, 1.0);
+  size_t ones = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    int64_t v = zipf.Sample(rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    if (v == 1) ++ones;
+  }
+  // H(100) ~ 5.19, so P(1) ~ 19%; uniform would be 1%.
+  EXPECT_GT(ones, total / 10);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), FdbError);
+  EXPECT_THROW(ZipfSampler(10, 0.0), FdbError);
+}
+
+TEST(Str, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Str, TrimAndLower) {
+  EXPECT_EQ(Trim("  x y\t"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+}
+
+TEST(Str, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    FDB_CHECK_MSG(false, "broken invariant");
+    FAIL() << "expected FdbError";
+  } catch (const FdbError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "storage/generator.h"
+
+namespace fdb {
+namespace {
+
+TEST(Generator, DistributeAttrsEvenly) {
+  EXPECT_EQ(DistributeAttrs(10, 4), (std::vector<int>{3, 3, 2, 2}));
+  EXPECT_EQ(DistributeAttrs(40, 8), std::vector<int>(8, 5));
+  EXPECT_EQ(DistributeAttrs(3, 3), (std::vector<int>{1, 1, 1}));
+  EXPECT_THROW(DistributeAttrs(2, 3), FdbError);
+}
+
+TEST(Generator, RelationWithinDomain) {
+  Rng rng(1);
+  Relation r = GenerateRelation({0, 1, 2}, 500, 20, Distribution::kUniform,
+                                1.0, rng);
+  EXPECT_EQ(r.size(), 500u);
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GE(r.At(i, c), 1);
+      EXPECT_LE(r.At(i, c), 20);
+    }
+  }
+}
+
+TEST(Generator, ZipfSkew) {
+  Rng rng(2);
+  Relation r =
+      GenerateRelation({0}, 5000, 100, Distribution::kZipf, 1.0, rng);
+  size_t ones = 0;
+  for (size_t i = 0; i < r.size(); ++i) ones += r.At(i, 0) == 1 ? 1 : 0;
+  EXPECT_GT(ones, r.size() / 12);  // far above the uniform 1%
+}
+
+TEST(Generator, WorkloadShape) {
+  WorkloadSpec spec;
+  spec.num_rels = 4;
+  spec.num_attrs = 10;
+  spec.tuples_per_rel = 50;
+  spec.num_equalities = 3;
+  GeneratedWorkload w = GenerateWorkload(spec);
+  EXPECT_EQ(w.relations.size(), 4u);
+  EXPECT_EQ(w.catalog.num_attrs(), 10u);
+  EXPECT_EQ(w.query.rels.size(), 4u);
+  EXPECT_EQ(w.query.equalities.size(), 3u);
+  // Non-redundant: K equalities leave exactly A - K classes.
+  auto classes = EqualityClasses(AttrSet::FirstN(10), w.query.equalities);
+  EXPECT_EQ(classes.size(), 7u);
+}
+
+TEST(Generator, WorkloadDeterministicPerSeed) {
+  WorkloadSpec spec;
+  spec.tuples_per_rel = 20;
+  spec.seed = 9;
+  GeneratedWorkload w1 = GenerateWorkload(spec);
+  GeneratedWorkload w2 = GenerateWorkload(spec);
+  EXPECT_EQ(w1.query.equalities, w2.query.equalities);
+  EXPECT_TRUE(w1.relations[0] == w2.relations[0]);
+}
+
+TEST(Generator, RejectsTooManyEqualities) {
+  WorkloadSpec spec;
+  spec.num_attrs = 4;
+  spec.num_rels = 2;
+  spec.num_equalities = 4;  // >= A
+  EXPECT_THROW(GenerateWorkload(spec), FdbError);
+}
+
+TEST(Generator, ExtraEqualitiesMergeDistinctGroups) {
+  Rng rng(5);
+  std::vector<AttrSet> classes = {AttrSet::Of({0}), AttrSet::Of({1, 2}),
+                                  AttrSet::Of({3}), AttrSet::Of({4})};
+  auto eqs = DrawExtraEqualities(classes, 3, rng);
+  EXPECT_EQ(eqs.size(), 3u);
+  // After 3 merges of 4 groups exactly one group remains; a fourth draw is
+  // impossible.
+  auto more = DrawExtraEqualities(classes, 4, rng);
+  EXPECT_EQ(more.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "lp/edge_cover.h"
+#include "lp/simplex.h"
+
+namespace fdb {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, TrivialSingleConstraint) {
+  // min x s.t. x >= 1.
+  auto res = SolveCoveringLp({{1.0}}, {1.0}, {1.0});
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 1.0, kTol);
+}
+
+TEST(Simplex, PicksCheaperVariable) {
+  // min 3x + y s.t. x + y >= 1: put all weight on y.
+  auto res = SolveCoveringLp({{1.0, 1.0}}, {1.0}, {3.0, 1.0});
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 1.0, kTol);
+  EXPECT_NEAR(res.x[1], 1.0, kTol);
+}
+
+TEST(Simplex, TwoConstraintsShareVariable) {
+  // min x1+x2+x3, x1+x2>=1, x2+x3>=1: x2=1 suffices.
+  auto res = SolveCoveringLp({{1, 1, 0}, {0, 1, 1}}, {1, 1}, {1, 1, 1});
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 1.0, kTol);
+}
+
+TEST(Simplex, FractionalOptimum) {
+  // The triangle: three constraints, each covered by two of three
+  // variables; the optimum is 3 * 1/2 = 1.5, strictly below the integral 2.
+  auto res = SolveCoveringLp({{1, 1, 0}, {0, 1, 1}, {1, 0, 1}}, {1, 1, 1},
+                             {1, 1, 1});
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 1.5, kTol);
+}
+
+TEST(Simplex, InfeasibleWhenNoCover) {
+  // min x s.t. 0*x >= 1 is infeasible.
+  auto res = SolveCoveringLp({{0.0}}, {1.0}, {1.0});
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(Simplex, RejectsNegativeRhs) {
+  EXPECT_THROW(SolveCoveringLp({{1.0}}, {-1.0}, {1.0}), FdbError);
+}
+
+TEST(EdgeCover, SingleRelationCoversPath) {
+  // Both classes covered by relation 0 (mask 0b1): one relation suffices.
+  EXPECT_NEAR(FractionalEdgeCoverValue({0b1, 0b1}), 1.0, kTol);
+}
+
+TEST(EdgeCover, PaperExample4) {
+  // T1's path item - location - dispatcher over Orders(1), Store(2),
+  // Disp(4): item covered by {Orders,Store} = 0b011, location by
+  // {Store,Disp} = 0b110, dispatcher by {Disp} = 0b100 -> cost 2.
+  EXPECT_NEAR(FractionalEdgeCoverValue({0b011, 0b110, 0b100}), 2.0, kTol);
+  // T3's path supplier - item over Produce(1), Serve(2): supplier covered
+  // by both (0b11), item by Produce (0b01) -> cost 1.
+  EXPECT_NEAR(FractionalEdgeCoverValue({0b11, 0b01}), 1.0, kTol);
+}
+
+TEST(EdgeCover, TriangleQueryIsFractional) {
+  // Classes AB, BC, CA over R(A,B)=1, S(B,C)=2, T(C,A)=4: each class
+  // covered by two relations; rho* = 1.5 (Grohe-Marx).
+  EXPECT_NEAR(FractionalEdgeCoverValue({0b011, 0b110, 0b101}), 1.5, kTol);
+}
+
+TEST(EdgeCover, EmptyPathIsFree) {
+  EXPECT_NEAR(FractionalEdgeCoverValue({}), 0.0, kTol);
+}
+
+TEST(EdgeCover, ThrowsOnUncoveredClass) {
+  EXPECT_THROW(FractionalEdgeCoverValue({0b0}), FdbError);
+}
+
+TEST(EdgeCoverSolver, CachesCanonicalInstances) {
+  EdgeCoverSolver solver;
+  double v1 = solver.Solve({0b011, 0b110, 0b100});
+  // Permuted and duplicated masks canonicalise to the same key.
+  double v2 = solver.Solve({0b100, 0b011, 0b110, 0b110});
+  EXPECT_NEAR(v1, v2, kTol);
+  EXPECT_EQ(solver.solve_count(), 1u);
+  EXPECT_GE(solver.hit_count(), 1u);
+}
+
+TEST(EdgeCoverSolver, DominatedMasksDropped) {
+  EdgeCoverSolver solver;
+  // {0b1} subsumes {0b11}: covering the first class forces x0 = 1 which
+  // covers the second.
+  EXPECT_NEAR(solver.Solve({0b1, 0b11}), 1.0, kTol);
+  EXPECT_NEAR(solver.Solve({0b1}), 1.0, kTol);
+  // Both collapse to the same canonical instance.
+  EXPECT_EQ(solver.solve_count(), 1u);
+}
+
+TEST(EdgeCover, LongChainAlternating) {
+  // Chain of 4 classes covered by consecutive relation pairs; optimum picks
+  // every other relation: 2.
+  EXPECT_NEAR(FractionalEdgeCoverValue({0b0011, 0b0110, 0b1100, 0b1000}),
+              2.0, kTol);
+}
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "opt/estimates.h"
+#include "opt/fplan_search.h"
+#include "opt/ftree_search.h"
+#include "opt/greedy.h"
+#include "storage/generator.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+// Builds a QueryInfo for a synthetic catalog-free setting: relation r
+// covers the attributes in rel_attrs[r].
+QueryInfo MakeInfo(std::vector<AttrSet> rel_attrs,
+                   std::vector<std::pair<AttrId, AttrId>> eqs) {
+  QueryInfo info;
+  info.num_rels = static_cast<int>(rel_attrs.size());
+  info.rel_attrs = std::move(rel_attrs);
+  info.attr_rel.assign(kMaxAttrs, -1);
+  for (int r = 0; r < info.num_rels; ++r) {
+    for (AttrId a : info.rel_attrs[static_cast<size_t>(r)]) {
+      info.attr_rel[a] = r;
+      info.all_attrs.Add(a);
+    }
+  }
+  info.classes = EqualityClasses(info.all_attrs, eqs);
+  info.projection = info.all_attrs;
+  return info;
+}
+
+TEST(FTreeSearch, GroceryQ2HasCostOne) {
+  // Q2 = Produce(supplier,item) |x| Serve(supplier',location):
+  // s(Q2) = 1 via T3 (Example 4/5).
+  QueryInfo info = MakeInfo({AttrSet::Of({0, 1}), AttrSet::Of({2, 3})},
+                            {{0, 2}});
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFTree(info, solver);
+  EXPECT_NEAR(res.cost, 1.0, 1e-6);
+  res.tree.Validate();
+  EXPECT_TRUE(res.tree.SatisfiesPathConstraint());
+  EXPECT_TRUE(res.tree.IsNormalized());
+}
+
+TEST(FTreeSearch, GroceryQ1HasCostTwo) {
+  // Q1 = Orders(oid,item) |x| Store(loc,item') |x| Disp(disp,loc'):
+  // s(Q1) = 2 (Example 5).
+  QueryInfo info = MakeInfo({AttrSet::Of({0, 1}), AttrSet::Of({2, 3}),
+                             AttrSet::Of({4, 5})},
+                            {{1, 3}, {2, 5}});
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFTree(info, solver);
+  EXPECT_NEAR(res.cost, 2.0, 1e-6);
+}
+
+TEST(FTreeSearch, SingleRelationIsPath) {
+  QueryInfo info = MakeInfo({AttrSet::Of({0, 1, 2})}, {});
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFTree(info, solver);
+  EXPECT_NEAR(res.cost, 1.0, 1e-6);
+  EXPECT_EQ(res.tree.NumAlive(), 3);
+  EXPECT_EQ(res.tree.roots().size(), 1u);  // all attrs dependent: a path
+}
+
+TEST(FTreeSearch, CartesianProductIsForest) {
+  QueryInfo info = MakeInfo({AttrSet::Of({0}), AttrSet::Of({1})}, {});
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFTree(info, solver);
+  EXPECT_NEAR(res.cost, 1.0, 1e-6);
+  EXPECT_EQ(res.tree.roots().size(), 2u);
+}
+
+TEST(FTreeSearch, TriangleQueryFractionalCost) {
+  // R(A,B), S(B',C), T(C',A'): the triangle join has s = 1.5.
+  QueryInfo info = MakeInfo(
+      {AttrSet::Of({0, 1}), AttrSet::Of({2, 3}), AttrSet::Of({4, 5})},
+      {{1, 2}, {3, 4}, {5, 0}});
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFTree(info, solver);
+  EXPECT_NEAR(res.cost, 1.5, 1e-6);
+}
+
+TEST(FTreeSearch, ChainQueryCosts) {
+  // Example 6: chain of equality joins R1(A1,B1) |x| ... with B_i = A_{i+1}.
+  auto chain_info = [](int n) {
+    std::vector<AttrSet> rels;
+    std::vector<std::pair<AttrId, AttrId>> eqs;
+    for (int i = 0; i < n; ++i) {
+      AttrId a = static_cast<AttrId>(2 * i), b = static_cast<AttrId>(2 * i + 1);
+      rels.push_back(AttrSet::Of({a, b}));
+      if (i > 0) eqs.emplace_back(static_cast<AttrId>(2 * i - 1), a);
+    }
+    return MakeInfo(rels, eqs);
+  };
+  EdgeCoverSolver solver;
+  EXPECT_NEAR(FindOptimalFTree(chain_info(2), solver).cost, 1.0, 1e-6);
+  EXPECT_NEAR(FindOptimalFTree(chain_info(3), solver).cost, 2.0, 1e-6);
+  EXPECT_NEAR(FindOptimalFTree(chain_info(4), solver).cost, 2.0, 1e-6);
+  // Logarithmic growth: n = 8 stays well below the path bound of 5.
+  double c8 = FindOptimalFTree(chain_info(8), solver).cost;
+  EXPECT_LE(c8, 3.0 + 1e-6);
+  EXPECT_GE(c8, 2.0 - 1e-6);
+}
+
+TEST(FTreeSearch, PaperScaleSmokeTest) {
+  // R = 8 relations, A = 40 attributes, K = 6 equalities (Fig. 5 scale).
+  WorkloadSpec spec;
+  spec.num_rels = 8;
+  spec.num_attrs = 40;
+  spec.tuples_per_rel = 1;  // data irrelevant for optimisation
+  spec.num_equalities = 6;
+  spec.seed = 11;
+  GeneratedWorkload w = GenerateWorkload(spec);
+  QueryInfo info = AnalyzeQuery(w.catalog, w.query);
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFTree(info, solver);
+  EXPECT_GE(res.cost, 1.0 - 1e-6);
+  EXPECT_LE(res.cost, 3.0 + 1e-6);  // "rarely above 2" per the paper
+  res.tree.Validate();
+  EXPECT_TRUE(res.tree.SatisfiesPathConstraint());
+}
+
+// ---------- F-plan search ----------
+
+// Example 11's input: root {A,D} (classes of two ternary relations),
+// children B (child C) and E (child F); R0 = {A,B,C}, R1 = {D,E,F}.
+FTree Example11Tree() {
+  FTree t;
+  AttrSet cad = AttrSet::Of({0, 3});
+  int nad = t.NewNode(cad, cad, RelSet::Of({0, 1}), RelSet::Of({0, 1}));
+  int nb = t.NewNode(AttrSet::Of({1}), AttrSet::Of({1}), RelSet::Of({0}),
+                     RelSet::Of({0}));
+  int nc = t.NewNode(AttrSet::Of({2}), AttrSet::Of({2}), RelSet::Of({0}),
+                     RelSet::Of({0}));
+  int ne = t.NewNode(AttrSet::Of({4}), AttrSet::Of({4}), RelSet::Of({1}),
+                     RelSet::Of({1}));
+  int nf = t.NewNode(AttrSet::Of({5}), AttrSet::Of({5}), RelSet::Of({1}),
+                     RelSet::Of({1}));
+  t.AttachRoot(nad);
+  t.AttachChild(nad, nb);
+  t.AttachChild(nb, nc);
+  t.AttachChild(nad, ne);
+  t.AttachChild(ne, nf);
+  t.Validate();
+  return t;
+}
+
+TEST(FPlanSearch, Example11FindsCostOnePlan) {
+  FTree t = Example11Tree();
+  EdgeCoverSolver solver;
+  EXPECT_NEAR(t.Cost(solver), 1.0, 1e-6);
+
+  auto res = FindOptimalFPlan(t, {{1, 5}}, solver);  // B = F
+  EXPECT_TRUE(res.complete);
+  // The naive absorb-based plan costs 2; the optimal plan (swap chi_{E,F}
+  // then merge mu_{B,F}) stays at cost 1.
+  EXPECT_NEAR(res.plan.cost_max_s, 1.0, 1e-6);
+  EXPECT_NEAR(res.plan.result_s, 1.0, 1e-6);
+  // Equality satisfied in the final tree.
+  EXPECT_EQ(res.final_tree.FindAttr(1), res.final_tree.FindAttr(5));
+  res.final_tree.Validate();
+  EXPECT_TRUE(res.final_tree.SatisfiesPathConstraint());
+}
+
+TEST(FPlanSearch, AlreadySatisfiedIsEmptyPlan) {
+  FTree t = Example11Tree();
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFPlan(t, {{0, 3}}, solver);  // A = D already merged
+  EXPECT_TRUE(res.plan.steps.empty());
+}
+
+TEST(FPlanSearch, MultipleEqualities) {
+  FTree t = Example11Tree();
+  EdgeCoverSolver solver;
+  auto res = FindOptimalFPlan(t, {{1, 4}, {2, 5}}, solver);  // B=E, C=F
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.final_tree.FindAttr(1), res.final_tree.FindAttr(4));
+  EXPECT_EQ(res.final_tree.FindAttr(2), res.final_tree.FindAttr(5));
+  EXPECT_TRUE(res.final_tree.SatisfiesPathConstraint());
+}
+
+TEST(Greedy, MatchesSearchOnExample11) {
+  FTree t = Example11Tree();
+  EdgeCoverSolver solver;
+  auto full = FindOptimalFPlan(t, {{1, 5}}, solver);
+  auto greedy = GreedyFPlan(t, {{1, 5}}, solver);
+  EXPECT_EQ(greedy.final_tree.FindAttr(1), greedy.final_tree.FindAttr(5));
+  // Greedy is never better than full search; here it matches it.
+  EXPECT_GE(greedy.plan.cost_max_s + 1e-6, full.plan.cost_max_s);
+  EXPECT_NEAR(greedy.plan.cost_max_s, 1.0, 1e-6);
+}
+
+TEST(Greedy, NeverBeatsFullSearchOnRandomTrees) {
+  EdgeCoverSolver solver;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    WorkloadSpec spec;
+    spec.num_rels = 3;
+    spec.num_attrs = 8;
+    spec.tuples_per_rel = 1;
+    spec.num_equalities = 2;
+    spec.seed = seed;
+    GeneratedWorkload w = GenerateWorkload(spec);
+    QueryInfo info = AnalyzeQuery(w.catalog, w.query);
+    auto t = FindOptimalFTree(info, solver);
+
+    Rng rng(seed * 99);
+    auto extra = DrawExtraEqualities(info.classes, 2, rng);
+    if (extra.empty()) continue;
+
+    auto full = FindOptimalFPlan(t.tree, extra, solver);
+    auto greedy = GreedyFPlan(t.tree, extra, solver);
+    EXPECT_GE(greedy.plan.cost_max_s + 1e-6, full.plan.cost_max_s)
+        << "seed " << seed;
+    // Both must satisfy all equalities.
+    for (const auto& [a, b] : extra) {
+      EXPECT_EQ(full.final_tree.FindAttr(a), full.final_tree.FindAttr(b));
+      EXPECT_EQ(greedy.final_tree.FindAttr(a), greedy.final_tree.FindAttr(b));
+    }
+  }
+}
+
+TEST(Estimates, StatsAndPathCardinality) {
+  Relation r({0, 1});
+  for (Value v = 1; v <= 10; ++v) r.AddTuple({v, v % 3});
+  Relation s({2});
+  for (Value v = 1; v <= 4; ++v) s.AddTuple({v});
+  DatabaseStats stats = DatabaseStats::Compute({&r, &s});
+  EXPECT_EQ(stats.rel_size[0], 10.0);
+  EXPECT_EQ(stats.attr_distinct[0], 10.0);
+  EXPECT_EQ(stats.attr_distinct[1], 3.0);
+
+  // Join of R and S on a class {1,2}: est = |R|*|S| / max(d1,d2) = 10.
+  FTree t;
+  AttrSet cls = AttrSet::Of({1, 2});
+  int n = t.NewNode(cls, cls, RelSet::Of({0, 1}), RelSet::Of({0, 1}));
+  t.AttachRoot(n);
+  std::vector<int> path{n};
+  double est = EstimatePathCardinality(stats, t, path);
+  // Capped by the distinct bound min(3,4) = 3.
+  EXPECT_NEAR(est, 3.0, 1e-9);
+}
+
+TEST(Estimates, FRepSizeSumsOverNodes) {
+  Relation r({0, 1});
+  for (Value v = 0; v < 6; ++v) r.AddTuple({v / 2, v});
+  DatabaseStats stats = DatabaseStats::Compute({&r});
+  FTree t = PathFTree({0, 1}, 0);
+  double est = EstimateFRepSize(stats, t);
+  EXPECT_GT(est, 0.0);
+  // Root contributes ~3 (distinct of attr 0), leaf ~6.
+  EXPECT_NEAR(est, 9.0, 1.0);
+}
+
+TEST(FPlanSearch, EstimateModeProducesValidPlan) {
+  FTree t = Example11Tree();
+  // Fake stats: two ternary relations of 100 tuples, 10 distinct per attr.
+  DatabaseStats stats;
+  stats.rel_size = {100.0, 100.0};
+  stats.attr_distinct.assign(kMaxAttrs, 10.0);
+  EdgeCoverSolver solver;
+  FPlanSearchOptions opts;
+  opts.mode = CostMode::kEstimates;
+  opts.stats = &stats;
+  auto res = FindOptimalFPlan(t, {{1, 5}}, solver, opts);
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.final_tree.FindAttr(1), res.final_tree.FindAttr(5));
+}
+
+}  // namespace
+}  // namespace fdb

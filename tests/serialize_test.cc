@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/enumerate.h"
+#include "core/ground.h"
+#include "core/ops.h"
+#include "core/serialize.h"
+#include "storage/generator.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+FRep RoundTrip(const FRep& rep) {
+  std::ostringstream out;
+  WriteFRep(out, rep);
+  std::istringstream in(out.str());
+  return ReadFRep(in);
+}
+
+void ExpectSame(const FRep& a, const FRep& b) {
+  EXPECT_EQ(a.empty(), b.empty());
+  EXPECT_EQ(a.tree().CanonicalKey(), b.tree().CanonicalKey());
+  EXPECT_EQ(a.NumSingletons(), b.NumSingletons());
+  EXPECT_EQ(a.CountTuples(), b.CountTuples());
+  if (!a.empty()) {
+    EXPECT_TRUE(MaterializeVisible(a) == MaterializeVisible(b));
+  }
+}
+
+Relation MakeRel(std::vector<AttrId> schema,
+                 std::vector<std::vector<Value>> rows) {
+  Relation r(std::move(schema));
+  for (auto& row : rows) r.AddTuple(row);
+  return r;
+}
+
+TEST(Serialize, RoundTripSimple) {
+  Relation r = MakeRel({0, 1}, {{1, 1}, {1, 2}, {2, 2}});
+  FRep rep = GroundRelation(r, 0);
+  ExpectSame(rep, RoundTrip(rep));
+}
+
+TEST(Serialize, RoundTripEmpty) {
+  FRep rep{PathFTree({0, 1}, 0)};
+  FRep back = RoundTrip(rep);
+  EXPECT_TRUE(back.empty());
+  EXPECT_EQ(back.tree().CanonicalKey(), rep.tree().CanonicalKey());
+}
+
+TEST(Serialize, RoundTripNullary) {
+  FRep rep{FTree{}};
+  rep.MarkNonEmpty();
+  FRep back = RoundTrip(rep);
+  EXPECT_FALSE(back.empty());
+  EXPECT_EQ(back.CountTuples(), 1.0);
+}
+
+TEST(Serialize, RoundTripAfterOperators) {
+  // A representation with dead tree nodes (merge kills one) and a constant
+  // node must survive the round trip.
+  Relation r = MakeRel({0}, {{1}, {2}, {3}});
+  Relation s = MakeRel({1, 2}, {{1, 7}, {2, 8}, {3, 9}});
+  FRep prod = Product(GroundRelation(r, 0), GroundRelation(s, 1));
+  FRep joined = Merge(prod, 0, 1);
+  FRep selected = SelectConst(joined, 2, CmpOp::kNe, 8);
+  ExpectSame(selected, RoundTrip(selected));
+}
+
+TEST(Serialize, RoundTripGrocery) {
+  auto db = testing_util::MakeGroceryDb();
+  Engine engine(db.get());
+  FdbResult res = engine.EvaluateFlat(testing_util::GroceryQ1(*db));
+  ExpectSame(res.rep, RoundTrip(res.rep));
+}
+
+TEST(Serialize, RoundTripRandomWorkloads) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    WorkloadSpec spec;
+    spec.num_rels = 3;
+    spec.num_attrs = 7;
+    spec.tuples_per_rel = 30;
+    spec.domain = 6;
+    spec.num_equalities = 2;
+    spec.seed = seed;
+    GeneratedWorkload w = GenerateWorkload(spec);
+    std::vector<const Relation*> rels;
+    for (const Relation& rel : w.relations) rels.push_back(&rel);
+    QueryInfo info = AnalyzeQuery(w.catalog, w.query);
+    EdgeCoverSolver solver;
+    FRep rep = GroundQuery(FindOptimalFTree(info, solver).tree, rels);
+    ExpectSame(rep, RoundTrip(rep));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Relation r = MakeRel({0, 1}, {{5, 6}});
+  FRep rep = GroundRelation(r, 0);
+  const std::string path = "/tmp/fdb_serialize_test.frep";
+  WriteFRepFile(path, rep);
+  ExpectSame(rep, ReadFRepFile(path));
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return ReadFRep(in);
+  };
+  EXPECT_THROW(parse(""), FdbError);
+  EXPECT_THROW(parse("bogus header\nend\n"), FdbError);
+  EXPECT_THROW(parse("fdb-frep 1\nnonempty\n"), FdbError);  // missing end
+  EXPECT_THROW(parse("fdb-frep 1\nwhatisthis 3\nend\n"), FdbError);
+  // Dangling child reference.
+  EXPECT_THROW(
+      parse("fdb-frep 1\n"
+            "node 0 attrs=1 visible=1 cover=1 dep=1 const=0 parent=-1\n"
+            "troot 0\nnonempty\n"
+            "union 0 node=0 values=1 children=5\n"
+            "uroot 0\nend\n"),
+      FdbError);
+  // Inconsistent representation (child count mismatch) must fail Validate.
+  EXPECT_THROW(
+      parse("fdb-frep 1\n"
+            "node 0 attrs=1 visible=1 cover=1 dep=1 const=0 parent=-1\n"
+            "node 1 attrs=2 visible=2 cover=1 dep=1 const=0 parent=0\n"
+            "troot 0\nnonempty\n"
+            "union 0 node=0 values=1 children=\n"
+            "uroot 0\nend\n"),
+      FdbError);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  Relation r = MakeRel({0}, {{1}, {2}});
+  FRep rep = GroundRelation(r, 0);
+  std::ostringstream out;
+  WriteFRep(out, rep);
+  std::string text = "# compiled database\n\n" + out.str();
+  std::istringstream in(text);
+  ExpectSame(rep, ReadFRep(in));
+}
+
+}  // namespace
+}  // namespace fdb

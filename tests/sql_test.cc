@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using sql::Lex;
+using sql::TokenKind;
+
+TEST(Lexer, TokenKinds) {
+  auto toks = Lex("SELECT a, b FROM R WHERE x >= -3 AND y != 'hi'");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  bool saw_ge = false, saw_ne = false, saw_str = false, saw_neg = false;
+  for (const auto& t : toks) {
+    saw_ge |= t.kind == TokenKind::kGe;
+    saw_ne |= t.kind == TokenKind::kNe;
+    saw_str |= t.kind == TokenKind::kString && t.text == "hi";
+    saw_neg |= t.kind == TokenKind::kInt && t.value == -3;
+  }
+  EXPECT_TRUE(saw_ge && saw_ne && saw_str && saw_neg);
+  EXPECT_EQ(toks.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(Lex("a ; b"), FdbError);
+  EXPECT_THROW(Lex("'unterminated"), FdbError);
+  EXPECT_THROW(Lex("a ! b"), FdbError);
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : db_(testing_util::MakeGroceryDb()) {}
+  Query Parse(const std::string& s) {
+    return ParseSql(s, db_->catalog(), &db_->dict());
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ParserTest, SelectStar) {
+  Query q = Parse("SELECT * FROM Orders");
+  EXPECT_EQ(q.rels.size(), 1u);
+  EXPECT_TRUE(q.projection.Empty());  // empty = keep everything
+  EXPECT_TRUE(q.equalities.empty());
+}
+
+TEST_F(ParserTest, JoinWithEqualities) {
+  Query q = Parse(
+      "SELECT * FROM Orders, Store, Disp "
+      "WHERE o_item = s_item AND s_location = d_location");
+  EXPECT_EQ(q.rels.size(), 3u);
+  ASSERT_EQ(q.equalities.size(), 2u);
+  EXPECT_EQ(q.equalities[0].first, db_->Attr("o_item"));
+  EXPECT_EQ(q.equalities[0].second, db_->Attr("s_item"));
+}
+
+TEST_F(ParserTest, ProjectionList) {
+  Query q = Parse("SELECT oid, dispatcher FROM Orders, Disp");
+  EXPECT_EQ(q.projection,
+            AttrSet::Of({db_->Attr("oid"), db_->Attr("dispatcher")}));
+}
+
+TEST_F(ParserTest, ConstantPredicates) {
+  Query q = Parse("SELECT * FROM Orders WHERE oid >= 2 AND o_item = 'Milk'");
+  ASSERT_EQ(q.const_preds.size(), 2u);
+  EXPECT_EQ(q.const_preds[0].op, CmpOp::kGe);
+  EXPECT_EQ(q.const_preds[0].value, 2);
+  EXPECT_EQ(q.const_preds[1].op, CmpOp::kEq);
+  EXPECT_EQ(db_->dict().Decode(q.const_preds[1].value), "Milk");
+}
+
+TEST_F(ParserTest, FlippedConstant) {
+  Query q = Parse("SELECT * FROM Orders WHERE 2 < oid");
+  ASSERT_EQ(q.const_preds.size(), 1u);
+  EXPECT_EQ(q.const_preds[0].op, CmpOp::kGt);  // oid > 2
+}
+
+TEST_F(ParserTest, QualifiedAttributes) {
+  Query q = Parse("SELECT Orders.oid FROM Orders");
+  EXPECT_EQ(q.projection, AttrSet::Of({db_->Attr("oid")}));
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  Query q = Parse("select * from Orders where oid = 1");
+  EXPECT_EQ(q.const_preds.size(), 1u);
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_THROW(Parse("SELECT"), FdbError);
+  EXPECT_THROW(Parse("SELECT * FROM Nowhere"), FdbError);
+  EXPECT_THROW(Parse("SELECT * FROM Orders WHERE bogus = 1"), FdbError);
+  EXPECT_THROW(Parse("SELECT * FROM Orders WHERE oid < o_item AND"),
+               FdbError);
+  EXPECT_THROW(Parse("SELECT * FROM Orders extra"), FdbError);
+  EXPECT_THROW(Parse("SELECT * FROM Orders WHERE oid < s_item"), FdbError);
+  EXPECT_THROW(Parse("SELECT Disp.oid FROM Orders, Disp"), FdbError);
+}
+
+TEST_F(ParserTest, NonEqualityJoinRejected) {
+  EXPECT_THROW(Parse("SELECT * FROM Orders, Store WHERE o_item < s_item"),
+               FdbError);
+}
+
+}  // namespace
+}  // namespace fdb

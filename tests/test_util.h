@@ -1,0 +1,109 @@
+// Shared fixtures: the grocery retailer database of Fig. 1 and small
+// helpers used across the test suite.
+#ifndef FDB_TESTS_TEST_UTIL_H_
+#define FDB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "api/engine.h"
+#include "core/enumerate.h"
+
+namespace fdb {
+namespace testing_util {
+
+// The example database of Figure 1. Attribute names are global, so the
+// shared column names of the paper (item, location, supplier) are prefixed
+// per relation; queries equate them explicitly, exactly like the paper's
+// equivalence classes {item, item'} etc.
+//
+//   Orders(oid, o_item)         Store(s_location, s_item)
+//   Disp(dispatcher, d_location)
+//   Produce(supplier, p_item)   Serve(sv_supplier, sv_location)
+inline std::unique_ptr<Database> MakeGroceryDb() {
+  auto db = std::make_unique<Database>();
+  RelId orders = db->CreateRelation("Orders", {"oid", "o_item:str"});
+  RelId store = db->CreateRelation("Store", {"s_location:str", "s_item:str"});
+  RelId disp = db->CreateRelation("Disp", {"dispatcher:str", "d_location:str"});
+  RelId produce = db->CreateRelation("Produce", {"supplier:str", "p_item:str"});
+  RelId serve =
+      db->CreateRelation("Serve", {"sv_supplier:str", "sv_location:str"});
+
+  auto ins = [&db](RelId r, std::vector<Cell> row) { db->Insert(r, row); };
+  ins(orders, {int64_t{1}, "Milk"});
+  ins(orders, {int64_t{1}, "Cheese"});
+  ins(orders, {int64_t{2}, "Melon"});
+  ins(orders, {int64_t{3}, "Cheese"});
+  ins(orders, {int64_t{3}, "Melon"});
+
+  ins(store, {"Istanbul", "Milk"});
+  ins(store, {"Istanbul", "Cheese"});
+  ins(store, {"Istanbul", "Melon"});
+  ins(store, {"Izmir", "Milk"});
+  ins(store, {"Antalya", "Milk"});
+  ins(store, {"Antalya", "Cheese"});
+
+  ins(disp, {"Adnan", "Istanbul"});
+  ins(disp, {"Adnan", "Izmir"});
+  ins(disp, {"Yasemin", "Istanbul"});
+  ins(disp, {"Volkan", "Antalya"});
+
+  ins(produce, {"Guney", "Milk"});
+  ins(produce, {"Guney", "Cheese"});
+  ins(produce, {"Dikici", "Milk"});
+  ins(produce, {"Byzantium", "Melon"});
+
+  ins(serve, {"Guney", "Antalya"});
+  ins(serve, {"Dikici", "Istanbul"});
+  ins(serve, {"Dikici", "Izmir"});
+  ins(serve, {"Dikici", "Antalya"});
+  ins(serve, {"Byzantium", "Istanbul"});
+  return db;
+}
+
+// Q1 = Orders |x|_item Store |x|_location Disp (Example 1).
+inline Query GroceryQ1(const Database& db) {
+  Query q;
+  q.rels = {static_cast<RelId>(db.catalog().FindRelation("Orders")),
+            static_cast<RelId>(db.catalog().FindRelation("Store")),
+            static_cast<RelId>(db.catalog().FindRelation("Disp"))};
+  q.equalities = {{db.Attr("o_item"), db.Attr("s_item")},
+                  {db.Attr("s_location"), db.Attr("d_location")}};
+  return q;
+}
+
+// Q2 = Produce |x|_supplier Serve (Example 1).
+inline Query GroceryQ2(const Database& db) {
+  Query q;
+  q.rels = {static_cast<RelId>(db.catalog().FindRelation("Produce")),
+            static_cast<RelId>(db.catalog().FindRelation("Serve"))};
+  q.equalities = {{db.Attr("supplier"), db.Attr("sv_supplier")}};
+  return q;
+}
+
+// Materialises an f-representation and a flat relation into comparable
+// sorted forms and checks equality of the represented relations. The
+// schemas must cover the same attribute sets.
+inline bool SameRelation(const FRep& rep, const Relation& flat) {
+  Relation lhs = MaterializeVisible(rep);
+  Relation rhs = flat;
+  if (lhs.attr_set() != rhs.attr_set()) return false;
+  // Reorder rhs columns to match lhs schema.
+  std::vector<size_t> cols;
+  for (AttrId a : lhs.schema()) cols.push_back(rhs.ColumnOf(a));
+  Relation rhs2(lhs.schema());
+  std::vector<Value> tuple(cols.size());
+  for (size_t r = 0; r < rhs.size(); ++r) {
+    for (size_t c = 0; c < cols.size(); ++c) tuple[c] = rhs.At(r, cols[c]);
+    rhs2.AddTuple(tuple);
+  }
+  rhs2.SortLex();
+  return lhs == rhs2;
+}
+
+}  // namespace testing_util
+}  // namespace fdb
+
+#endif  // FDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "rdb/rdb.h"
+#include "storage/generator.h"
+#include "vdb/vdb.h"
+
+namespace fdb {
+namespace {
+
+Relation MakeRel(std::vector<AttrId> schema,
+                 std::vector<std::vector<Value>> rows) {
+  Relation r(std::move(schema));
+  for (auto& row : rows) r.AddTuple(row);
+  return r;
+}
+
+TEST(VdbIterator, ScanYieldsAllRows) {
+  Relation r = MakeRel({0, 1}, {{1, 2}, {3, 4}});
+  vdb::ScanIterator scan(&r);
+  scan.Open();
+  Tuple t;
+  int n = 0;
+  while (scan.Next(&t)) {
+    EXPECT_EQ(t.size(), 2u);
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+  scan.Close();
+}
+
+TEST(VdbIterator, FilterDropsRows) {
+  Relation r = MakeRel({0}, {{1}, {2}, {3}, {4}});
+  auto scan = std::make_unique<vdb::ScanIterator>(&r);
+  vdb::FilterIterator f(std::move(scan),
+                        [](const Tuple& t) { return t[0] % 2 == 0; });
+  f.Open();
+  Tuple t;
+  std::vector<Value> got;
+  while (f.Next(&t)) got.push_back(t[0]);
+  EXPECT_EQ(got, (std::vector<Value>{2, 4}));
+}
+
+TEST(VdbIterator, HashJoinMatchesKeys) {
+  Relation l = MakeRel({0, 1}, {{1, 5}, {2, 6}, {3, 5}});
+  Relation r = MakeRel({2, 3}, {{5, 50}, {5, 51}, {7, 70}});
+  vdb::HashJoinIterator join(std::make_unique<vdb::ScanIterator>(&l),
+                             std::make_unique<vdb::ScanIterator>(&r),
+                             {{1, 0}});
+  join.Open();
+  Tuple t;
+  int n = 0;
+  while (join.Next(&t)) {
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[1], t[2]);
+    ++n;
+  }
+  EXPECT_EQ(n, 4);  // rows with b=5 join two S rows each
+}
+
+TEST(VdbIterator, HashJoinEmptyKeysIsProduct) {
+  Relation l = MakeRel({0}, {{1}, {2}});
+  Relation r = MakeRel({1}, {{5}, {6}, {7}});
+  vdb::HashJoinIterator join(std::make_unique<vdb::ScanIterator>(&l),
+                             std::make_unique<vdb::ScanIterator>(&r), {});
+  join.Open();
+  Tuple t;
+  int n = 0;
+  while (join.Next(&t)) ++n;
+  EXPECT_EQ(n, 6);
+}
+
+TEST(VdbIterator, ProjectSelectsColumns) {
+  Relation r = MakeRel({0, 1, 2}, {{1, 2, 3}});
+  vdb::ProjectIterator proj(std::make_unique<vdb::ScanIterator>(&r), {2, 0});
+  proj.Open();
+  Tuple t;
+  ASSERT_TRUE(proj.Next(&t));
+  EXPECT_EQ(t, (Tuple{3, 1}));
+}
+
+TEST(Vdb, MatchesRdbOnRandomWorkloads) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    WorkloadSpec spec;
+    spec.num_rels = 3;
+    spec.num_attrs = 7;
+    spec.tuples_per_rel = 40;
+    spec.domain = 6;
+    spec.num_equalities = 2;
+    spec.seed = seed;
+    GeneratedWorkload w = GenerateWorkload(spec);
+    std::vector<const Relation*> rels;
+    for (const Relation& r : w.relations) rels.push_back(&r);
+
+    RdbResult rdb = RdbEvaluate(w.catalog, rels, w.query);
+    VdbResult vdb = VdbEvaluate(w.catalog, rels, w.query);
+    ASSERT_FALSE(rdb.timed_out);
+    ASSERT_FALSE(vdb.timed_out);
+    // Same set of tuples (schemas may order columns differently).
+    Relation a = rdb.relation;
+    Relation b = vdb.relation;
+    ASSERT_EQ(a.attr_set(), b.attr_set());
+    std::vector<size_t> cols;
+    for (AttrId attr : a.schema()) cols.push_back(b.ColumnOf(attr));
+    Relation b2(a.schema());
+    std::vector<Value> tuple(cols.size());
+    for (size_t row = 0; row < b.size(); ++row) {
+      for (size_t c = 0; c < cols.size(); ++c) tuple[c] = b.At(row, cols[c]);
+      b2.AddTuple(tuple);
+    }
+    b2.SortLex();
+    EXPECT_TRUE(a == b2) << "seed " << seed;
+  }
+}
+
+TEST(Vdb, RowLimitStopsEarly) {
+  Catalog cat;
+  AttrId a = cat.AddAttribute("a");
+  AttrId b = cat.AddAttribute("b");
+  RelId r = cat.AddRelation("R", {a});
+  RelId s = cat.AddRelation("S", {b});
+  Relation rr({a}), ss({b});
+  for (Value v = 0; v < 100; ++v) {
+    rr.AddTuple({v});
+    ss.AddTuple({v});
+  }
+  Query q;
+  q.rels = {r, s};
+  VdbOptions opts;
+  opts.max_result_tuples = 10;
+  VdbResult res = VdbEvaluate(cat, {&rr, &ss}, q, opts);
+  EXPECT_TRUE(res.timed_out);
+  EXPECT_EQ(res.relation.size(), 10u);
+}
+
+}  // namespace
+}  // namespace fdb
