@@ -24,11 +24,12 @@ int EnvInt(const char* name, int def) {
   return s != nullptr && std::atoi(s) > 0 ? std::atoi(s) : def;
 }
 
-void Run() {
+void Run(Report& report) {
   const int reps = EnvInt("FDB_ABL_REPS", 5);
-  Banner(std::cout,
-         "Ablation (§4.1): asymptotic vs estimate-based plan costs "
-         "(R=4, A=10, N=200, domain 20)");
+  report.BeginSection(
+      std::cout,
+      "Ablation (§4.1): asymptotic vs estimate-based plan costs "
+      "(R=4, A=10, N=200, domain 20)");
   Table table({"K", "L", "same final tree", "asym s(f)", "est-plan s(f)"});
 
   for (int k = 1; k <= 5; ++k) {
@@ -88,7 +89,7 @@ void Run() {
                     FmtDouble(est_cost / done, 3)});
     }
   }
-  table.Print(std::cout);
+  report.Emit(std::cout, table);
   std::cout << "\nPaper shape check: the two cost models choose the same "
                "final f-tree in most cases, and the estimate-chosen plans "
                "are (near-)optimal under the asymptotic measure too.\n";
@@ -97,7 +98,8 @@ void Run() {
 }  // namespace
 }  // namespace fdb
 
-int main() {
-  fdb::Run();
-  return 0;
+int main(int argc, char** argv) {
+  fdb::Report report("abl_cost_models", argc, argv);
+  fdb::Run(report);
+  return report.Finish();
 }

@@ -26,13 +26,14 @@ int EnvInt(const char* name, int def) {
   return s != nullptr && std::atoi(s) > 0 ? std::atoi(s) : def;
 }
 
-void Run() {
+void Run(Report& report) {
   const int kAttrs = 40;
   const int reps = EnvInt("FDB_EXP1_REPS", 3);
   const int max_k = EnvInt("FDB_EXP1_MAXK", 9);
 
-  Banner(std::cout,
-         "Figure 5: optimal f-tree search on flat data (A=40 attributes)");
+  report.BeginSection(
+      std::cout,
+      "Figure 5: optimal f-tree search on flat data (A=40 attributes)");
   Table table({"R", "K", "opt time [s]", "cost s(T)", "explored"});
 
   for (int r = 1; r <= 8; ++r) {
@@ -63,7 +64,7 @@ void Run() {
                     FmtInt(total_explored / static_cast<uint64_t>(reps))});
     }
   }
-  table.Print(std::cout);
+  report.Emit(std::cout, table);
   std::cout << "\nPaper shape check: cost is 1.0 for R<=2; typically <=2 "
                "elsewhere; time grows exponentially with K but stays "
                "sub-second for K<8.\n";
@@ -72,7 +73,8 @@ void Run() {
 }  // namespace
 }  // namespace fdb
 
-int main() {
-  fdb::Run();
-  return 0;
+int main(int argc, char** argv) {
+  fdb::Report report("exp1_optimisation_flat", argc, argv);
+  fdb::Run(report);
+  return report.Finish();
 }

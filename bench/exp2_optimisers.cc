@@ -31,13 +31,14 @@ int EnvInt(const char* name, int def) {
   return s != nullptr && std::atoi(s) > 0 ? std::atoi(s) : def;
 }
 
-void Run() {
+void Run(Report& report) {
   const int kRels = 4, kAttrs = 10;
   const int reps = EnvInt("FDB_EXP2_REPS", 3);
 
-  Banner(std::cout,
-         "Figures 6 and 9: full-search vs greedy f-plan optimisation "
-         "(R=4, A=10)");
+  report.BeginSection(
+      std::cout,
+      "Figures 6 and 9: full-search vs greedy f-plan optimisation "
+      "(R=4, A=10)");
   Table table({"K", "L", "full s(f)", "full s(T)", "greedy s(f)",
                "greedy s(T)", "full time [s]", "greedy time [s]",
                "states"});
@@ -89,7 +90,7 @@ void Run() {
                     FmtInt(states / static_cast<uint64_t>(done))});
     }
   }
-  table.Print(std::cout);
+  report.Emit(std::cout, table);
   std::cout << "\nPaper shape check: greedy s(f) >= full s(f), equal in most "
                "cells; costs lie in [1,2]; greedy runs orders of magnitude "
                "faster.\n";
@@ -98,7 +99,8 @@ void Run() {
 }  // namespace
 }  // namespace fdb
 
-int main() {
-  fdb::Run();
-  return 0;
+int main(int argc, char** argv) {
+  fdb::Report report("exp2_optimisers", argc, argv);
+  fdb::Run(report);
+  return report.Finish();
 }

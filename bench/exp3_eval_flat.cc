@@ -80,12 +80,13 @@ std::string Maybe(double v, bool timeout, bool sci = true) {
   return sci ? FmtSci(v) : FmtSecs(v);
 }
 
-void PanelAB(Distribution dist) {
-  Banner(std::cout,
-         std::string("Figure 7 (") +
-             (dist == Distribution::kUniform ? "left" : "middle") +
-             "): 3 ternary relations, values " + DistributionName(dist) +
-             " over [1..100]");
+void PanelAB(Report& report, Distribution dist) {
+  report.BeginSection(
+      std::cout,
+      std::string("Figure 7 (") +
+          (dist == Distribution::kUniform ? "left" : "middle") +
+          "): 3 ternary relations, values " + DistributionName(dist) +
+          " over [1..100]");
   Table table({"N", "K", "FDB size", "RDB size", "FDB time", "RDB time",
                "VDB time"});
   std::vector<size_t> sizes{1000, 3162, 10000, 31623};
@@ -111,14 +112,15 @@ void PanelAB(Distribution dist) {
                     Maybe(row.vdb_time, row.vdb_timeout, false)});
     }
   }
-  table.Print(std::cout);
+  report.Emit(std::cout, table);
 }
 
-void PanelC(Distribution dist) {
-  Banner(std::cout,
-         std::string("Figure 7 (right): combinatorial data, R=4 "
-                     "(2 binary x64, 2 ternary x512), values ") +
-             DistributionName(dist) + " over [1..20]");
+void PanelC(Report& report, Distribution dist) {
+  report.BeginSection(
+      std::cout,
+      std::string("Figure 7 (right): combinatorial data, R=4 "
+                  "(2 binary x64, 2 ternary x512), values ") +
+          DistributionName(dist) + " over [1..20]");
   Table table({"K", "FDB size", "RDB size", "FDB time", "RDB time",
                "VDB time"});
   for (int k = 1; k <= 8; ++k) {
@@ -132,14 +134,14 @@ void PanelC(Distribution dist) {
                   Maybe(row.rdb_time, row.rdb_timeout, false),
                   Maybe(row.vdb_time, row.vdb_timeout, false)});
   }
-  table.Print(std::cout);
+  report.Emit(std::cout, table);
 }
 
-void Run() {
-  PanelAB(Distribution::kUniform);
-  PanelAB(Distribution::kZipf);
-  PanelC(Distribution::kUniform);
-  PanelC(Distribution::kZipf);
+void Run(Report& report) {
+  PanelAB(report, Distribution::kUniform);
+  PanelAB(report, Distribution::kZipf);
+  PanelC(report, Distribution::kUniform);
+  PanelC(report, Distribution::kZipf);
   std::cout << "\nPaper shape check: factorised sizes are orders of "
                "magnitude below flat sizes and both follow power laws in N "
                "(smaller exponent for FDB); evaluation times track result "
@@ -151,7 +153,8 @@ void Run() {
 }  // namespace
 }  // namespace fdb
 
-int main() {
-  fdb::Run();
-  return 0;
+int main(int argc, char** argv) {
+  fdb::Report report("exp3_eval_flat", argc, argv);
+  fdb::Run(report);
+  return report.Finish();
 }

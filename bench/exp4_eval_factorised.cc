@@ -34,10 +34,11 @@ size_t EnvSize(const char* name, size_t def) {
                                            : def;
 }
 
-void Run() {
-  Banner(std::cout,
-         "Figure 8: FDB vs RDB on factorised inputs (R=4, A=10, "
-         "combinatorial sizes)");
+void Run(Report& report) {
+  report.BeginSection(
+      std::cout,
+      "Figure 8: FDB vs RDB on factorised inputs (R=4, A=10, "
+      "combinatorial sizes)");
   Table table({"K", "L", "FDB size", "RDB size", "FDB time", "RDB time",
                "plan s(f)"});
 
@@ -95,7 +96,7 @@ void Run() {
                     FmtDouble(out.plan.cost_max_s, 3)});
     }
   }
-  table.Print(std::cout);
+  report.Emit(std::cout, table);
   std::cout << "\nPaper shape check: FDB sizes/times are up to orders of "
                "magnitude below RDB at small K and converge as K grows; "
                "f-plan costs stay in [1,2], so factorisation quality does "
@@ -105,7 +106,8 @@ void Run() {
 }  // namespace
 }  // namespace fdb
 
-int main() {
-  fdb::Run();
-  return 0;
+int main(int argc, char** argv) {
+  fdb::Report report("exp4_eval_factorised", argc, argv);
+  fdb::Run(report);
+  return report.Finish();
 }

@@ -54,10 +54,11 @@ BenchInstance MakeKeyForeignKey(size_t customers, size_t orders,
   return inst;
 }
 
-void Run() {
-  Banner(std::cout,
-         "One-to-many (key/foreign-key) joins: Customer |x| Orders |x| "
-         "Lineitem");
+void Run(Report& report) {
+  report.BeginSection(
+      std::cout,
+      "One-to-many (key/foreign-key) joins: Customer |x| Orders |x| "
+      "Lineitem");
   Table table({"N (lineitems)", "flat tuples", "flat size", "FDB size",
                "ratio", "FDB time", "RDB time"});
   for (size_t n : {1000u, 10000u, 100000u}) {
@@ -84,7 +85,7 @@ void Run() {
                   FmtDouble(flat_size / fact_size, 2), FmtSecs(fdb_time),
                   FmtSecs(rdb_time)});
   }
-  table.Print(std::cout);
+  report.Emit(std::cout, table);
   std::cout << "\nPaper shape check: the flat/factorised size ratio stays a "
                "small constant (about the number of relations in the "
                "query), unlike the many-to-many workloads of Fig. 7 where "
@@ -94,7 +95,8 @@ void Run() {
 }  // namespace
 }  // namespace fdb
 
-int main() {
-  fdb::Run();
-  return 0;
+int main(int argc, char** argv) {
+  fdb::Report report("exp5_one_to_many", argc, argv);
+  fdb::Run(report);
+  return report.Finish();
 }

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Runs every bench binary and collects machine-readable BENCH_*.json
+# artifacts for the perf trajectory.
+#
+#   Usage: bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build (the tier-1 build directory), OUT_DIR to
+# ./bench_results. The experiment drivers honour their FDB_* env knobs
+# (e.g. FDB_EXP1_REPS, FDB_BENCH_FULL) for quicker or fuller runs;
+# micro_ops honours the usual Google Benchmark flags via BENCHMARK_* env or
+# by running it directly.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench_results}
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+for b in abl_cost_models exp1_optimisation_flat exp2_optimisers \
+         exp3_eval_flat exp4_eval_factorised exp5_one_to_many; do
+  if [ -x "$BENCH_DIR/$b" ]; then
+    echo ">> $b"
+    "$BENCH_DIR/$b" --json "$OUT_DIR/BENCH_${b}.json"
+  else
+    echo ">> $b: not built, skipping" >&2
+  fi
+done
+
+# micro_ops links Google Benchmark's benchmark_main, which brings its own
+# JSON reporter instead of the --json flag of the experiment drivers.
+if [ -x "$BENCH_DIR/micro_ops" ]; then
+  echo ">> micro_ops"
+  "$BENCH_DIR/micro_ops" \
+    --benchmark_out="$OUT_DIR/BENCH_micro.json" \
+    --benchmark_out_format=json
+else
+  echo ">> micro_ops: not built (Google Benchmark missing), skipping" >&2
+fi
+
+echo "bench artifacts written to $OUT_DIR/"

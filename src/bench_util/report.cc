@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <ostream>
 
 namespace fdb {
@@ -63,6 +67,163 @@ std::string FmtSecs(double secs) {
 
 void Banner(std::ostream& os, const std::string& title) {
   os << "\n== " << title << " ==\n";
+}
+
+namespace {
+
+void JsonEscape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// True iff `s` matches the JSON number grammar: -?int frac? exp?. Stricter
+// than strtod, which also accepts hex floats, inf/nan and leading space —
+// none of which may be emitted unquoted.
+bool IsJsonNumber(const std::string& s) {
+  size_t i = 0;
+  const size_t n = s.size();
+  auto digits = [&] {
+    size_t start = i;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < n && s[i] == '-') ++i;
+  if (i < n && s[i] == '0') {
+    ++i;  // leading zero must stand alone ("0", "0.5" — not "00", "0x1f")
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n;
+}
+
+// Emits a cell as a bare JSON number when the whole string is one ("12",
+// "0.031", "1.23e+06"), otherwise as a quoted string ("12.3ms", "t/o",
+// "yes"). Keeps numeric columns directly plottable downstream.
+void JsonCell(std::ostream& os, const std::string& s) {
+  if (IsJsonNumber(s)) {
+    os << s;
+    return;
+  }
+  JsonEscape(os, s);
+}
+
+void JsonTable(std::ostream& os, const Table& table, const char* indent) {
+  os << indent << "{\"headers\": [";
+  for (size_t c = 0; c < table.headers().size(); ++c) {
+    if (c) os << ", ";
+    JsonEscape(os, table.headers()[c]);
+  }
+  os << "],\n" << indent << " \"rows\": [";
+  for (size_t r = 0; r < table.rows().size(); ++r) {
+    if (r) os << ',';
+    os << '\n' << indent << "  [";
+    const auto& row = table.rows()[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ", ";
+      JsonCell(os, row[c]);
+    }
+    os << ']';
+  }
+  os << '\n' << indent << "]}";
+}
+
+}  // namespace
+
+Report::Report(std::string bench_name, int argc, char** argv)
+    : bench_name_(std::move(bench_name)) {
+  std::string arg_error;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      if (i + 1 >= argc) {
+        arg_error = "--json requires a path argument";
+        break;
+      }
+      json_path_ = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path_ = arg + 7;
+      if (json_path_.empty()) {
+        arg_error = "--json= requires a non-empty path";
+        break;
+      }
+    }
+    // Other arguments are ignored; benches are configured via FDB_* env vars.
+  }
+  // Fail fast: a usage error must not surface only after minutes of
+  // benchmarking. These are short-lived CLI drivers, so exiting here is fine.
+  if (!arg_error.empty()) {
+    std::cerr << bench_name_ << ": " << arg_error << "\n";
+    std::exit(2);
+  }
+}
+
+void Report::BeginSection(std::ostream& os, const std::string& title) {
+  Banner(os, title);
+  sections_.push_back(Section{title, {}});
+}
+
+void Report::Emit(std::ostream& os, const Table& table) {
+  table.Print(os);
+  if (sections_.empty()) sections_.push_back(Section{"", {}});
+  sections_.back().tables.push_back(table);
+}
+
+int Report::Finish() {
+  if (json_path_.empty()) return 0;
+  std::ofstream out(json_path_);
+  if (!out) {
+    std::cerr << bench_name_ << ": cannot open " << json_path_
+              << " for writing\n";
+    return 1;
+  }
+  out << "{\"bench\": ";
+  JsonEscape(out, bench_name_);
+  out << ",\n \"schema_version\": 1,\n \"sections\": [";
+  for (size_t s = 0; s < sections_.size(); ++s) {
+    if (s) out << ',';
+    const Section& sec = sections_[s];
+    out << "\n  {\"title\": ";
+    JsonEscape(out, sec.title);
+    out << ",\n   \"tables\": [";
+    for (size_t t = 0; t < sec.tables.size(); ++t) {
+      if (t) out << ",\n";
+      else out << '\n';
+      JsonTable(out, sec.tables[t], "    ");
+    }
+    out << "\n   ]}";
+  }
+  out << "\n ]}\n";
+  out.close();
+  if (!out) {
+    std::cerr << bench_name_ << ": error writing " << json_path_ << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace fdb

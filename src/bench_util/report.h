@@ -1,5 +1,7 @@
 // Plain-text table/series reporting for the experiment harnesses. Each
-// bench binary prints the rows/series of the paper figure it regenerates.
+// bench binary prints the rows/series of the paper figure it regenerates,
+// and can additionally dump everything it printed as one machine-readable
+// JSON document (`--json out.json`) for the perf trajectory.
 #ifndef FDB_BENCH_UTIL_REPORT_H_
 #define FDB_BENCH_UTIL_REPORT_H_
 
@@ -17,9 +19,53 @@ class Table {
   void AddRow(std::vector<std::string> cells);
   void Print(std::ostream& os) const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Collects everything a bench binary prints — banner-titled sections, each
+/// holding the tables emitted under it — and mirrors it to a JSON file when
+/// the binary was invoked with `--json <path>` (or `--json=<path>`).
+///
+///   int main(int argc, char** argv) {
+///     fdb::Report report("exp1_optimisation_flat", argc, argv);
+///     Run(report);              // BeginSection(...) + Emit(...) inside
+///     return report.Finish();
+///   }
+///
+/// BeginSection/Emit are drop-in replacements for Banner/Table::Print: they
+/// produce identical text output and additionally record the data.
+class Report {
+ public:
+  /// Parses `--json <path>` / `--json=<path>` from argv; other arguments are
+  /// ignored (benches are configured via FDB_* env vars). Malformed --json
+  /// usage prints an error and exits(2) immediately — before the bench runs.
+  Report(std::string bench_name, int argc, char** argv);
+
+  /// Prints the banner to `os` and opens a new section of the report.
+  void BeginSection(std::ostream& os, const std::string& title);
+
+  /// Prints `table` to `os` and attaches it to the current section. A table
+  /// emitted before any BeginSection lands in an untitled section.
+  void Emit(std::ostream& os, const Table& table);
+
+  /// Writes the JSON document if requested. Returns a process exit code:
+  /// 0 on success (or nothing to do), 1 on bad arguments or I/O failure.
+  int Finish();
+
+ private:
+  struct Section {
+    std::string title;
+    std::vector<Table> tables;
+  };
+
+  std::string bench_name_;
+  std::string json_path_;
+  std::vector<Section> sections_;
 };
 
 /// Number formatting used across benches.

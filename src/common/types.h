@@ -2,6 +2,13 @@
 #ifndef FDB_COMMON_TYPES_H_
 #define FDB_COMMON_TYPES_H_
 
+// MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus is set; it
+// reports the real language level in _MSVC_LANG instead.
+#if !(defined(__cplusplus) && __cplusplus >= 202002L) && \
+    !(defined(_MSVC_LANG) && _MSVC_LANG >= 202002L)
+#error "FDB requires C++20 (std::popcount in common/attrset.h and friends); compile with -std=c++20 or use the provided CMake build."
+#endif
+
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
