@@ -60,7 +60,7 @@ void Run(Report& report) {
       "One-to-many (key/foreign-key) joins: Customer |x| Orders |x| "
       "Lineitem");
   Table table({"N (lineitems)", "flat tuples", "flat size", "FDB size",
-               "ratio", "FDB time", "RDB time"});
+               "FDB bytes", "ratio", "FDB time", "RDB time"});
   for (size_t n : {1000u, 10000u, 100000u}) {
     size_t scaled = static_cast<size_t>(static_cast<double>(n) * BenchScale());
     BenchInstance inst =
@@ -82,6 +82,7 @@ void Run(Report& report) {
     double fact_size = static_cast<double>(fdb.NumSingletons());
     table.AddRow({FmtInt(scaled), FmtInt(rdb.NumTuples()),
                   FmtSci(flat_size), FmtSci(fact_size),
+                  FmtInt(fdb.rep.MemoryBytes()),
                   FmtDouble(flat_size / fact_size, 2), FmtSecs(fdb_time),
                   FmtSecs(rdb_time)});
   }

@@ -22,13 +22,13 @@ struct CountSum {
 CountSum SolveUnion(const FRep& rep, uint32_t id, AttrId attr,
                     std::vector<CountSum>& memo, std::vector<char>& done) {
   if (done[id]) return memo[id];
-  const UnionNode& un = rep.u(id);
-  const FTreeNode& nd = rep.tree().node(un.node);
+  UnionRef un = rep.u(id);
+  const FTreeNode& nd = rep.tree().node(un.node());
   const size_t k = nd.children.size();
   const bool has_attr = nd.attrs.Contains(attr);
 
   CountSum out;
-  for (size_t e = 0; e < un.values.size(); ++e) {
+  for (size_t e = 0; e < un.size(); ++e) {
     double prod = 1.0;
     double weighted = 0.0;  // sum_j s_j * prod_{j' != j} c_{j'}
     for (size_t j = 0; j < k; ++j) {
@@ -39,7 +39,7 @@ CountSum SolveUnion(const FRep& rep, uint32_t id, AttrId attr,
     out.count += prod;
     out.sum += weighted;
     if (has_attr) {
-      out.sum += static_cast<double>(un.values[e]) * prod;
+      out.sum += static_cast<double>(un.value(e)) * prod;
     }
   }
   memo[id] = out;
@@ -77,9 +77,11 @@ void ForEachUnionOfNode(const FRep& rep, int node, Fn fn) {
     stack.pop_back();
     if (seen[id]) continue;
     seen[id] = 1;
-    const UnionNode& un = rep.u(id);
-    if (un.node == node) fn(un);
-    for (uint32_t c : un.children) stack.push_back(c);
+    UnionRef un = rep.u(id);
+    if (un.node() == node) fn(un);
+    for (size_t i = 0; i < un.num_children(); ++i) {
+      stack.push_back(un.child(i));
+    }
   }
 }
 
@@ -105,8 +107,8 @@ Value Min(const FRep& rep, AttrId attr) {
   int node = NodeOfAttr(rep, attr);
   FDB_CHECK_MSG(!rep.empty(), "MIN over the empty relation");
   Value best = std::numeric_limits<Value>::max();
-  ForEachUnionOfNode(rep, node, [&](const UnionNode& un) {
-    best = std::min(best, un.values.front());  // values are sorted
+  ForEachUnionOfNode(rep, node, [&](const UnionRef& un) {
+    best = std::min(best, un.value(0));  // values are sorted
   });
   return best;
 }
@@ -115,8 +117,8 @@ Value Max(const FRep& rep, AttrId attr) {
   int node = NodeOfAttr(rep, attr);
   FDB_CHECK_MSG(!rep.empty(), "MAX over the empty relation");
   Value best = std::numeric_limits<Value>::min();
-  ForEachUnionOfNode(rep, node, [&](const UnionNode& un) {
-    best = std::max(best, un.values.back());
+  ForEachUnionOfNode(rep, node, [&](const UnionRef& un) {
+    best = std::max(best, un.value(un.size() - 1));
   });
   return best;
 }
@@ -125,8 +127,8 @@ size_t CountDistinct(const FRep& rep, AttrId attr) {
   int node = NodeOfAttr(rep, attr);
   if (rep.empty()) return 0;
   std::unordered_set<Value> seen;
-  ForEachUnionOfNode(rep, node, [&](const UnionNode& un) {
-    seen.insert(un.values.begin(), un.values.end());
+  ForEachUnionOfNode(rep, node, [&](const UnionRef& un) {
+    seen.insert(un.values(), un.values() + un.size());
   });
   return seen.size();
 }

@@ -45,7 +45,7 @@ void TupleEnumerator::ResetFrame(size_t i) {
     f.union_id = rep_->roots()[f.slot];
   } else {
     const Frame& pf = frames_[static_cast<size_t>(f.parent_pos)];
-    const UnionNode& pu = rep_->u(pf.union_id);
+    UnionRef pu = rep_->u(pf.union_id);
     const size_t k = rep_->tree().node(pf.node).children.size();
     f.union_id = pu.Child(pf.entry, f.slot, k);
   }
@@ -55,7 +55,7 @@ void TupleEnumerator::ResetFrame(size_t i) {
 
 void TupleEnumerator::WriteValues(size_t i) {
   const Frame& f = frames_[i];
-  Value v = rep_->u(f.union_id).values[f.entry];
+  Value v = rep_->u(f.union_id).value(f.entry);
   for (AttrId a : rep_->tree().node(f.node).attrs) current_[a] = v;
 }
 

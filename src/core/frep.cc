@@ -6,8 +6,9 @@ namespace fdb {
 
 namespace {
 
-// Operators may leave unreachable (dropped-entry) unions in the pool, so
-// statistics walk only what the roots reach; shared unions count once.
+// Operators may leave unreachable (dropped-entry or abandoned) unions in the
+// header table, so statistics walk only what the roots reach; shared unions
+// count once.
 template <typename Fn>
 void ForEachReachable(const FRep& rep, Fn fn) {
   std::vector<char> seen(rep.NumUnions(), 0);
@@ -17,19 +18,33 @@ void ForEachReachable(const FRep& rep, Fn fn) {
     stack.pop_back();
     if (seen[id]) continue;
     seen[id] = 1;
-    fn(rep.u(id));
-    for (uint32_t c : rep.u(id).children) stack.push_back(c);
+    UnionRef un = rep.u(id);
+    fn(un);
+    const uint32_t* kids = un.children();
+    for (size_t i = 0; i < un.num_children(); ++i) stack.push_back(kids[i]);
   }
 }
 
 }  // namespace
 
+void FRep::MarkEmpty() {
+  FDB_CHECK_MSG(scratch_top_ == 0, "MarkEmpty with open builders");
+  empty_ = true;
+  // Swap-with-empty releases capacity: an intermediate that became empty
+  // mid-f-plan must not keep its peak arena allocation alive.
+  std::vector<uint32_t>().swap(roots_);
+  std::vector<Value>().swap(values_);
+  std::vector<uint32_t>().swap(children_);
+  std::vector<UnionHeader>().swap(headers_);
+  std::vector<std::unique_ptr<Scratch>>().swap(scratch_);
+}
+
 size_t FRep::NumSingletons() const {
   if (empty_) return 0;
   size_t total = 0;
-  ForEachReachable(*this, [&](const UnionNode& un) {
-    total += un.values.size() *
-             static_cast<size_t>(tree_.node(un.node).visible.Size());
+  ForEachReachable(*this, [&](const UnionRef& un) {
+    total += un.size() *
+             static_cast<size_t>(tree_.node(un.node()).visible.Size());
   });
   return total;
 }
@@ -37,38 +52,49 @@ size_t FRep::NumSingletons() const {
 size_t FRep::NumValues() const {
   if (empty_) return 0;
   size_t total = 0;
-  ForEachReachable(*this, [&](const UnionNode& un) {
-    total += un.values.size();
-  });
+  ForEachReachable(*this, [&](const UnionRef& un) { total += un.size(); });
+  return total;
+}
+
+size_t FRep::MemoryBytes() const {
+  size_t total = values_.capacity() * sizeof(Value) +
+                 children_.capacity() * sizeof(uint32_t) +
+                 headers_.capacity() * sizeof(UnionHeader) +
+                 roots_.capacity() * sizeof(uint32_t) +
+                 scratch_.capacity() * sizeof(scratch_[0]);
+  for (const auto& s : scratch_) {
+    total += sizeof(Scratch) + s->vals.capacity() * sizeof(Value) +
+             s->kids.capacity() * sizeof(uint32_t);
+  }
   return total;
 }
 
 double FRep::CountTuples() const {
   if (empty_) return 0.0;
   if (roots_.empty()) return 1.0;  // the nullary tuple <>
-  std::vector<double> memo(pool_.size(), -1.0);
+  std::vector<double> memo(headers_.size(), -1.0);
   // Iterative post-order over the DAG of unions (operators may share
   // subtrees, e.g. push-up hoists one copy).
   std::vector<uint32_t> stack(roots_.begin(), roots_.end());
   while (!stack.empty()) {
     uint32_t id = stack.back();
-    const UnionNode& un = pool_[id];
+    UnionRef un = u(id);
     if (memo[id] >= 0.0) {
       stack.pop_back();
       continue;
     }
     bool ready = true;
-    for (uint32_t c : un.children) {
-      if (memo[c] < 0.0) {
+    const uint32_t* kids = un.children();
+    for (size_t i = 0; i < un.num_children(); ++i) {
+      if (memo[kids[i]] < 0.0) {
         if (ready) ready = false;
-        stack.push_back(c);
+        stack.push_back(kids[i]);
       }
     }
     if (!ready) continue;
-    const size_t k =
-        tree_.node(un.node).children.size();
+    const size_t k = tree_.node(un.node()).children.size();
     double total = 0.0;
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    for (size_t e = 0; e < un.size(); ++e) {
       double prod = 1.0;
       for (size_t j = 0; j < k; ++j) prod *= memo[un.Child(e, j, k)];
       total += prod;
@@ -83,19 +109,20 @@ double FRep::CountTuples() const {
 
 void FRep::Validate() const {
   tree_.Validate();
+  FDB_CHECK_MSG(scratch_top_ == 0, "Validate with open builders");
   if (empty_) {
-    FDB_CHECK_MSG(roots_.empty() && pool_.empty(),
+    FDB_CHECK_MSG(roots_.empty() && headers_.empty(),
                   "empty representation must have no unions");
     return;
   }
   FDB_CHECK_MSG(roots_.size() == tree_.roots().size(),
                 "root unions must align with tree roots");
   // Walk every reachable union once.
-  std::vector<char> seen(pool_.size(), 0);
+  std::vector<char> seen(headers_.size(), 0);
   std::vector<uint32_t> stack;
   for (size_t i = 0; i < roots_.size(); ++i) {
-    FDB_CHECK(roots_[i] < pool_.size());
-    FDB_CHECK_MSG(pool_[roots_[i]].node == tree_.roots()[i],
+    FDB_CHECK(roots_[i] < headers_.size());
+    FDB_CHECK_MSG(headers_[roots_[i]].node == tree_.roots()[i],
                   "root union bound to wrong tree node");
     stack.push_back(roots_[i]);
   }
@@ -104,22 +131,22 @@ void FRep::Validate() const {
     stack.pop_back();
     if (seen[id]) continue;  // sharing is allowed (push-up hoists copies)
     seen[id] = 1;
-    const UnionNode& un = pool_[id];
-    const FTreeNode& nd = tree_.node(un.node);
+    UnionRef un = u(id);
+    const FTreeNode& nd = tree_.node(un.node());
     FDB_CHECK_MSG(nd.alive, "union bound to dead tree node");
-    FDB_CHECK_MSG(!un.values.empty(), "empty union inside non-empty rep");
-    FDB_CHECK_MSG(un.children.size() == un.values.size() * nd.children.size(),
+    FDB_CHECK_MSG(!un.empty(), "empty union inside non-empty rep");
+    FDB_CHECK_MSG(un.num_children() == un.size() * nd.children.size(),
                   "child slot count mismatch");
-    for (size_t e = 1; e < un.values.size(); ++e) {
-      FDB_CHECK_MSG(un.values[e - 1] < un.values[e],
+    for (size_t e = 1; e < un.size(); ++e) {
+      FDB_CHECK_MSG(un.value(e - 1) < un.value(e),
                     "union values not strictly increasing");
     }
     const size_t k = nd.children.size();
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    for (size_t e = 0; e < un.size(); ++e) {
       for (size_t j = 0; j < k; ++j) {
         uint32_t c = un.Child(e, j, k);
-        FDB_CHECK(c < pool_.size());
-        FDB_CHECK_MSG(pool_[c].node == nd.children[j],
+        FDB_CHECK(c < headers_.size());
+        FDB_CHECK_MSG(headers_[c].node == nd.children[j],
                       "child union bound to wrong tree node");
         stack.push_back(c);
       }

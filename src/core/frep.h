@@ -1,9 +1,30 @@
 // Factorised representations (f-representations, §2 Def. 1–2).
 //
-// An f-representation over an f-tree T is stored as a pool of union nodes.
-// One UnionNode materialises one occurrence of an f-tree node: the sorted
-// distinct values of the grouping class in that context, and for every value
-// one child union per child of the f-tree node (row-major in `children`).
+// An f-representation over an f-tree T is stored *columnar*: instead of one
+// heap-allocated node per union, FRep owns three contiguous arenas and every
+// union is a (offset, length) window into them:
+//
+//   values_    [ v v v | v v | v v v v | ... ]   one Value per union entry
+//   children_  [ c c c c c c | c c | ... ]       child union ids, row-major:
+//                                                entry-major, slot-minor
+//   headers_   [ {node, len, val_off, child_off, num_children} ... ]
+//              one small header per union; the union id is its index here
+//
+// One UnionRef (a non-owning view: FRep pointer + union id) materialises one
+// occurrence of an f-tree node: the sorted distinct values of the grouping
+// class in that context, and for every value one child union per child of
+// the f-tree node. Views stay valid across arena growth because they
+// re-resolve offsets through the FRep on every access; raw `values()` /
+// `children()` pointers are only valid until the next arena append.
+//
+// Construction goes through UnionBuilder (FRep::StartUnion): entries are
+// staged in a small scratch buffer (recycled LIFO across unions, so steady-
+// state construction performs no per-union allocation) and committed to the
+// arena tail in one append on Finish(). Builders nest like the operator
+// recursion that drives them: a child subtree is fully committed before its
+// parent finishes, so each committed union occupies one contiguous window.
+// Abandon() discards a union that turned out empty; its header stays as an
+// unreachable zero-length stub, which walkers skip by reachability.
 //
 // Invariants (checked by Validate(), preserved by every operator):
 //   * values within a union are strictly increasing (the paper's order
@@ -19,6 +40,8 @@
 #define FDB_CORE_FREP_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -26,16 +49,91 @@
 
 namespace fdb {
 
-/// One occurrence of an f-tree node: a union of values with child unions.
-struct UnionNode {
-  int node = -1;                    ///< owning f-tree node id
-  std::vector<Value> values;        ///< strictly increasing
-  std::vector<uint32_t> children;   ///< values.size() * (#tree children)
+class FRep;
 
-  size_t size() const { return values.size(); }
+/// Per-union arena header: where this union's window lives.
+struct UnionHeader {
+  int32_t node = -1;         ///< owning f-tree node id
+  uint32_t len = 0;          ///< number of entries (values)
+  size_t val_off = 0;        ///< first value in the value arena
+  size_t child_off = 0;      ///< first child id in the child arena
+  size_t num_children = 0;   ///< committed child ids (len * #tree children)
+};
+
+/// Non-owning view of one union. Cheap to copy; stable across arena growth
+/// (offsets are re-resolved through the FRep on every access).
+class UnionRef {
+ public:
+  UnionRef() = default;
+
+  int node() const;
+  /// Number of entries (values) in the union.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  Value value(size_t entry) const;
+  /// Contiguous value window, `size()` entries. Valid until the arena grows.
+  const Value* values() const;
+
+  size_t num_children() const;
+  uint32_t child(size_t i) const;
+  /// Contiguous child-id window, `num_children()` entries (entry-major,
+  /// slot-minor). Valid until the arena grows.
+  const uint32_t* children() const;
+  /// Child union of `entry` in child slot `slot` of `nslots`.
   uint32_t Child(size_t entry, size_t slot, size_t nslots) const {
-    return children[entry * nslots + slot];
+    return children()[entry * nslots + slot];
   }
+
+  uint32_t id() const { return id_; }
+
+ private:
+  friend class FRep;
+  UnionRef(const FRep* rep, uint32_t id) : rep_(rep), id_(id) {}
+
+  const FRep* rep_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+/// Append-only staging handle for one union under construction. Move-only;
+/// exactly one of Finish() / Abandon() ends the build (the destructor
+/// abandons an open builder). Values and child ids may be appended in any
+/// interleaving; Finish() commits both windows to the arena atomically.
+class UnionBuilder {
+ public:
+  UnionBuilder(const UnionBuilder&) = delete;
+  UnionBuilder& operator=(const UnionBuilder&) = delete;
+  UnionBuilder(UnionBuilder&& other) noexcept;
+  UnionBuilder& operator=(UnionBuilder&& other) noexcept;
+  ~UnionBuilder();
+
+  uint32_t id() const { return id_; }
+  /// Entries staged so far.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  void AddValue(Value v);
+  void AddChild(uint32_t child);
+  void AddValues(const Value* v, size_t n);
+  /// Bulk-appends every value of `u` (typically a union of another FRep).
+  void CopyValues(const UnionRef& u);
+
+  /// Commits the staged entries to the arena; returns the union id.
+  uint32_t Finish();
+  /// Discards the staged entries; the id remains an unreachable stub.
+  void Abandon();
+
+ private:
+  friend class FRep;
+  struct Scratch {
+    std::vector<Value> vals;
+    std::vector<uint32_t> kids;
+  };
+  UnionBuilder(FRep* rep, uint32_t id, Scratch* s)
+      : rep_(rep), s_(s), id_(id) {}
+
+  FRep* rep_ = nullptr;
+  Scratch* s_ = nullptr;  ///< null once finished/abandoned/moved-from
+  uint32_t id_ = 0;
 };
 
 /// A factorised representation bound to an f-tree.
@@ -44,33 +142,72 @@ class FRep {
   /// The empty relation over `tree`.
   explicit FRep(FTree tree) : tree_(std::move(tree)) {}
 
+  // Copies duplicate the arenas (three buffer memcpys); builder scratch is
+  // never copied and no builder may be open on the source.
+  FRep(const FRep& o)
+      : tree_(o.tree_),
+        values_(o.values_),
+        children_(o.children_),
+        headers_(o.headers_),
+        roots_(o.roots_),
+        empty_(o.empty_) {
+    FDB_CHECK_MSG(o.scratch_top_ == 0, "cannot copy an FRep with open builders");
+  }
+  FRep& operator=(const FRep& o) {
+    if (this != &o) *this = FRep(o);
+    return *this;
+  }
+  // Moves relocate the arenas a live UnionBuilder points into, so they are
+  // guarded like copies. Deliberately not noexcept: misuse must surface as
+  // an FdbError, and containers fall back to the (equally guarded) copy.
+  FRep(FRep&& o)
+      : tree_(std::move(o.tree_)),
+        values_(std::move(o.values_)),
+        children_(std::move(o.children_)),
+        headers_(std::move(o.headers_)),
+        roots_(std::move(o.roots_)),
+        empty_(o.empty_),
+        scratch_(std::move(o.scratch_)) {
+    FDB_CHECK_MSG(o.scratch_top_ == 0, "cannot move an FRep with open builders");
+  }
+  FRep& operator=(FRep&& o) {
+    if (this != &o) {
+      FDB_CHECK_MSG(scratch_top_ == 0 && o.scratch_top_ == 0,
+                    "cannot move an FRep with open builders");
+      tree_ = std::move(o.tree_);
+      values_ = std::move(o.values_);
+      children_ = std::move(o.children_);
+      headers_ = std::move(o.headers_);
+      roots_ = std::move(o.roots_);
+      empty_ = o.empty_;
+      scratch_ = std::move(o.scratch_);
+    }
+    return *this;
+  }
+
   const FTree& tree() const { return tree_; }
   FTree& tree() { return tree_; }
 
   /// True for the empty relation (no tuples).
   bool empty() const { return empty_; }
   void MarkNonEmpty() { empty_ = false; }
-  void MarkEmpty() {
-    empty_ = true;
-    roots_.clear();
-    pool_.clear();
-  }
+  /// Empties the representation and *releases* arena capacity
+  /// (shrink_to_fit semantics), so emptied intermediates inside f-plan
+  /// execution do not pin peak memory.
+  void MarkEmpty();
 
-  uint32_t NewUnion(int node) {
-    UnionNode u;
-    u.node = node;
-    pool_.push_back(std::move(u));
-    return static_cast<uint32_t>(pool_.size()) - 1;
-  }
+  /// Opens a builder for a new union of f-tree node `node`. The id is
+  /// assigned immediately; the data window is committed on Finish().
+  UnionBuilder StartUnion(int node);
 
-  UnionNode& u(uint32_t id) { return pool_[id]; }
-  const UnionNode& u(uint32_t id) const { return pool_[id]; }
+  /// View of union `id`.
+  UnionRef u(uint32_t id) const { return UnionRef(this, id); }
 
   /// Root unions, aligned with tree().roots() order.
   std::vector<uint32_t>& roots() { return roots_; }
   const std::vector<uint32_t>& roots() const { return roots_; }
 
-  size_t NumUnions() const { return pool_.size(); }
+  size_t NumUnions() const { return headers_.size(); }
 
   /// Number of singletons (the paper's |E|): every value of a union counts
   /// once per *visible* attribute of its class.
@@ -79,19 +216,149 @@ class FRep {
   /// Number of physically stored values (one per union entry).
   size_t NumValues() const;
 
+  /// Heap bytes held by this representation: value arena + child arena +
+  /// union headers + roots + recycled builder scratch, capacity-based (what
+  /// the allocator actually handed out, not just live data).
+  size_t MemoryBytes() const;
+
   /// Number of represented tuples (over all attributes, visible or not),
-  /// by dynamic programming over the pool. Exact up to 2^53.
+  /// by dynamic programming over the union DAG. Exact up to 2^53.
   double CountTuples() const;
 
   /// Checks all representation invariants; throws FdbError on violation.
   void Validate() const;
 
  private:
+  friend class UnionRef;
+  friend class UnionBuilder;
+  using Scratch = UnionBuilder::Scratch;
+
+  const UnionHeader& header(uint32_t id) const { return headers_[id]; }
+
+  Scratch* AcquireScratch();
+  void ReleaseScratch(Scratch* s);
+  void CommitUnion(uint32_t id, const Scratch& s);
+
   FTree tree_;
-  std::vector<UnionNode> pool_;
+  std::vector<Value> values_;        ///< value arena
+  std::vector<uint32_t> children_;   ///< child-id arena
+  std::vector<UnionHeader> headers_; ///< union id -> window
   std::vector<uint32_t> roots_;
   bool empty_ = true;
+  // LIFO pool of staging buffers for open builders; entries keep their
+  // capacity across unions so steady-state building does not allocate.
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  size_t scratch_top_ = 0;  ///< scratch_[0, scratch_top_) are in use
 };
+
+// ---- UnionRef inline accessors (need FRep complete) ----
+
+inline int UnionRef::node() const { return rep_->header(id_).node; }
+inline size_t UnionRef::size() const { return rep_->header(id_).len; }
+inline Value UnionRef::value(size_t entry) const {
+  return rep_->values_[rep_->header(id_).val_off + entry];
+}
+inline const Value* UnionRef::values() const {
+  return rep_->values_.data() + rep_->header(id_).val_off;
+}
+inline size_t UnionRef::num_children() const {
+  return rep_->header(id_).num_children;
+}
+inline uint32_t UnionRef::child(size_t i) const {
+  return rep_->children_[rep_->header(id_).child_off + i];
+}
+inline const uint32_t* UnionRef::children() const {
+  return rep_->children_.data() + rep_->header(id_).child_off;
+}
+
+// ---- UnionBuilder inline members ----
+
+inline size_t UnionBuilder::size() const { return s_->vals.size(); }
+inline void UnionBuilder::AddValue(Value v) { s_->vals.push_back(v); }
+inline void UnionBuilder::AddChild(uint32_t child) {
+  s_->kids.push_back(child);
+}
+inline void UnionBuilder::AddValues(const Value* v, size_t n) {
+  s_->vals.insert(s_->vals.end(), v, v + n);
+}
+inline void UnionBuilder::CopyValues(const UnionRef& u) {
+  AddValues(u.values(), u.size());
+}
+
+inline UnionBuilder::UnionBuilder(UnionBuilder&& other) noexcept
+    : rep_(other.rep_), s_(other.s_), id_(other.id_) {
+  other.s_ = nullptr;
+}
+inline UnionBuilder& UnionBuilder::operator=(UnionBuilder&& other) noexcept {
+  if (this != &other) {
+    if (s_ != nullptr) Abandon();
+    rep_ = other.rep_;
+    s_ = other.s_;
+    id_ = other.id_;
+    other.s_ = nullptr;
+  }
+  return *this;
+}
+inline UnionBuilder::~UnionBuilder() {
+  if (s_ != nullptr) Abandon();
+}
+
+inline uint32_t UnionBuilder::Finish() {
+  FDB_CHECK_MSG(s_ != nullptr, "Finish() on a closed UnionBuilder");
+  rep_->CommitUnion(id_, *s_);
+  rep_->ReleaseScratch(s_);
+  s_ = nullptr;
+  return id_;
+}
+
+inline void UnionBuilder::Abandon() {
+  FDB_CHECK_MSG(s_ != nullptr, "Abandon() on a closed UnionBuilder");
+  rep_->ReleaseScratch(s_);
+  s_ = nullptr;
+}
+
+// ---- FRep inline builder plumbing ----
+
+inline UnionBuilder FRep::StartUnion(int node) {
+  UnionHeader h;
+  h.node = node;
+  headers_.push_back(h);
+  return UnionBuilder(this, static_cast<uint32_t>(headers_.size()) - 1,
+                      AcquireScratch());
+}
+
+inline FRep::Scratch* FRep::AcquireScratch() {
+  if (scratch_top_ == scratch_.size()) {
+    scratch_.push_back(std::make_unique<Scratch>());
+  }
+  return scratch_[scratch_top_++].get();
+}
+
+inline void FRep::ReleaseScratch(Scratch* s) {
+  // Builders nest with the operator recursion, so the released buffer is
+  // almost always top-of-stack; out-of-order release (e.g. builders stored
+  // in a container) is tolerated by swapping the slot to the top. Never
+  // throws: this runs inside UnionBuilder's destructor.
+  s->vals.clear();
+  s->kids.clear();
+  for (size_t i = scratch_top_; i > 0; --i) {
+    if (scratch_[i - 1].get() == s) {
+      std::swap(scratch_[i - 1], scratch_[scratch_top_ - 1]);
+      --scratch_top_;
+      return;
+    }
+  }
+}
+
+inline void FRep::CommitUnion(uint32_t id, const Scratch& s) {
+  UnionHeader& h = headers_[id];
+  h.val_off = values_.size();
+  h.child_off = children_.size();
+  h.len = static_cast<uint32_t>(s.vals.size());
+  h.num_children = s.kids.size();
+  values_.insert(values_.end(), s.vals.begin(), s.vals.end());
+  children_.insert(children_.end(), s.kids.begin(), s.kids.end());
+}
 
 }  // namespace fdb
 

@@ -92,7 +92,7 @@ FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
     const FTreeNode& nd = tree.node(n);
     std::vector<AttrId> here = nd.cover_rels.ToVector();
     FDB_CHECK(!here.empty());
-    uint32_t nid = out.NewUnion(n);
+    UnionBuilder nu = out.StartUnion(n);
 
     // Leapfrog over the covering relations' sorted columns.
     std::vector<size_t> cursor(here.size());
@@ -154,11 +154,15 @@ FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
         range[r] = saved[i];
       }
       if (!dead) {
-        out.u(nid).values.push_back(v);
-        for (uint32_t kid : kids) out.u(nid).children.push_back(kid);
+        nu.AddValue(v);
+        for (uint32_t kid : kids) nu.AddChild(kid);
       }
     }
-    return out.u(nid).values.empty() ? kNoUnion : nid;
+    if (nu.empty()) {
+      nu.Abandon();
+      return kNoUnion;
+    }
+    return nu.Finish();
   };
 
   out.MarkNonEmpty();

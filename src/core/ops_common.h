@@ -13,6 +13,12 @@ namespace ops_internal {
 /// Sentinel for "this union became empty".
 inline constexpr uint32_t kNoUnion = 0xFFFFFFFFu;
 
+/// Deep-copies the union `id` of `src` (with everything below) into `dst`
+/// without memoisation: operators always produce tree-shaped
+/// representations (every union has exactly one parent reference), so plain
+/// duplication is exact there.
+uint32_t CopyTree(const FRep& src, uint32_t id, FRep* dst);
+
 /// Deep-copies the union `id` of `src` (with everything below) into `dst`.
 /// `memo` must have src.NumUnions() entries initialised to kNoUnion; shared
 /// subtrees stay shared.

@@ -5,24 +5,9 @@
 
 namespace fdb {
 
+using ops_internal::CopyTree;
 using ops_internal::kNoUnion;
 using ops_internal::SubtreeContains;
-
-namespace {
-
-uint32_t Copy(const FRep& src, uint32_t id, FRep* out) {
-  const UnionNode& un = src.u(id);
-  uint32_t nid = out->NewUnion(un.node);
-  out->u(nid).values = un.values;
-  out->u(nid).children.reserve(un.children.size());
-  for (uint32_t c : un.children) {
-    uint32_t cc = Copy(src, c, out);  // hoisted: Copy may grow the pool
-    out->u(nid).children.push_back(cc);
-  }
-  return nid;
-}
-
-}  // namespace
 
 // mu_{A,B} (§3.3, Fig. 3(c)): sort-merge join of two sibling unions. The
 // merged node keeps A's id; its child slots are A's followed by B's.
@@ -47,30 +32,34 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
 
   // Sort-merge two unions; kNoUnion when the intersection is empty.
   auto merge_unions = [&](uint32_t ida, uint32_t idb) -> uint32_t {
-    const UnionNode& ua = in.u(ida);
-    const UnionNode& ub = in.u(idb);
-    uint32_t nid = out.NewUnion(a);
+    UnionRef ua = in.u(ida);
+    UnionRef ub = in.u(idb);
+    UnionBuilder m = out.StartUnion(a);
     size_t i = 0, j = 0;
-    while (i < ua.values.size() && j < ub.values.size()) {
-      if (ua.values[i] < ub.values[j]) {
+    while (i < ua.size() && j < ub.size()) {
+      const Value va = ua.value(i);
+      const Value vb = ub.value(j);
+      if (va < vb) {
         ++i;
-      } else if (ub.values[j] < ua.values[i]) {
+      } else if (vb < va) {
         ++j;
       } else {
-        out.u(nid).values.push_back(ua.values[i]);
+        m.AddValue(va);
         for (size_t s = 0; s < ka; ++s) {
-          uint32_t ca = Copy(in, ua.Child(i, s, ka), &out);
-          out.u(nid).children.push_back(ca);
+          m.AddChild(CopyTree(in, ua.Child(i, s, ka), &out));
         }
         for (size_t s = 0; s < kb; ++s) {
-          uint32_t cb = Copy(in, ub.Child(j, s, kb), &out);
-          out.u(nid).children.push_back(cb);
+          m.AddChild(CopyTree(in, ub.Child(j, s, kb), &out));
         }
         ++i;
         ++j;
       }
     }
-    return out.u(nid).values.empty() ? kNoUnion : nid;
+    if (m.empty()) {
+      m.Abandon();
+      return kNoUnion;
+    }
+    return m.Finish();
   };
 
   out.MarkNonEmpty();
@@ -78,7 +67,7 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
     // Two root unions join at the top level.
     uint32_t ida = kNoUnion, idb = kNoUnion;
     for (size_t i = 0; i < in.roots().size(); ++i) {
-      int n = in.u(in.roots()[i]).node;
+      int n = in.u(in.roots()[i]).node();
       if (n == a) ida = in.roots()[i];
       if (n == b) idb = in.roots()[i];
     }
@@ -89,13 +78,13 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
       return out;
     }
     for (uint32_t r : in.roots()) {
-      int n = in.u(r).node;
+      int n = in.u(r).node();
       if (n == a) {
         out.roots().push_back(merged);
       } else if (n == b) {
         continue;  // removed root
       } else {
-        out.roots().push_back(Copy(in, r, &out));
+        out.roots().push_back(CopyTree(in, r, &out));
       }
     }
     return out;
@@ -112,15 +101,17 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
       std::find(p_children.begin(), p_children.end(), b) - p_children.begin());
 
   auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
-    const UnionNode& un = in.u(id);
-    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
-    const size_t k = t.node(un.node).children.size();
-    uint32_t nid = out.NewUnion(un.node);
+    UnionRef un = in.u(id);
+    if (!on_path[static_cast<size_t>(un.node())]) {
+      return CopyTree(in, id, &out);
+    }
+    const size_t k = t.node(un.node()).children.size();
+    UnionBuilder nu = out.StartUnion(un.node());
     std::vector<uint32_t> kept;
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    for (size_t e = 0; e < un.size(); ++e) {
       kept.clear();
       bool dead = false;
-      if (un.node == p) {
+      if (un.node() == p) {
         uint32_t merged =
             merge_unions(un.Child(e, slot_a, kp), un.Child(e, slot_b, kp));
         if (merged == kNoUnion) continue;
@@ -130,7 +121,7 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
           if (j == slot_a) {
             kept.push_back(merged);
           } else {
-            kept.push_back(Copy(in, un.Child(e, j, kp), &out));
+            kept.push_back(CopyTree(in, un.Child(e, j, kp), &out));
           }
         }
       } else {
@@ -144,10 +135,14 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
         }
         if (dead) continue;
       }
-      out.u(nid).values.push_back(un.values[e]);
-      for (uint32_t c : kept) out.u(nid).children.push_back(c);
+      nu.AddValue(un.value(e));
+      for (uint32_t c : kept) nu.AddChild(c);
     }
-    return out.u(nid).values.empty() ? kNoUnion : nid;
+    if (nu.empty()) {
+      nu.Abandon();
+      return kNoUnion;
+    }
+    return nu.Finish();
   };
 
   for (uint32_t r : in.roots()) {
@@ -180,34 +175,36 @@ FRep Absorb(const FRep& in, AttrId a_attr, AttrId b_attr) {
     mid.MarkNonEmpty();
     auto rec = [&](auto&& self, uint32_t id, Value a_val,
                    bool have_a) -> uint32_t {
-      const UnionNode& un = in.u(id);
-      if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &mid);
-      const size_t k = t.node(un.node).children.size();
-      if (un.node == b) {
-        FDB_CHECK_MSG(have_a, "B-union outside the scope of its A-ancestor");
-        auto it = std::lower_bound(un.values.begin(), un.values.end(), a_val);
-        if (it == un.values.end() || *it != a_val) return kNoUnion;
-        size_t e = static_cast<size_t>(it - un.values.begin());
-        uint32_t nid = mid.NewUnion(b);
-        mid.u(nid).values.push_back(a_val);
-        for (size_t j = 0; j < k; ++j) {
-          uint32_t cc = Copy(in, un.Child(e, j, k), &mid);
-          mid.u(nid).children.push_back(cc);
-        }
-        return nid;
+      UnionRef un = in.u(id);
+      if (!on_path[static_cast<size_t>(un.node())]) {
+        return CopyTree(in, id, &mid);
       }
-      uint32_t nid = mid.NewUnion(un.node);
+      const size_t k = t.node(un.node()).children.size();
+      if (un.node() == b) {
+        FDB_CHECK_MSG(have_a, "B-union outside the scope of its A-ancestor");
+        const Value* vals = un.values();
+        const Value* it = std::lower_bound(vals, vals + un.size(), a_val);
+        if (it == vals + un.size() || *it != a_val) return kNoUnion;
+        size_t e = static_cast<size_t>(it - vals);
+        UnionBuilder nu = mid.StartUnion(b);
+        nu.AddValue(a_val);
+        for (size_t j = 0; j < k; ++j) {
+          nu.AddChild(CopyTree(in, un.Child(e, j, k), &mid));
+        }
+        return nu.Finish();
+      }
+      UnionBuilder nu = mid.StartUnion(un.node());
       std::vector<uint32_t> kept;
-      for (size_t e = 0; e < un.values.size(); ++e) {
-        Value av = un.node == a ? un.values[e] : a_val;
-        bool ha = have_a || un.node == a;
+      for (size_t e = 0; e < un.size(); ++e) {
+        Value av = un.node() == a ? un.value(e) : a_val;
+        bool ha = have_a || un.node() == a;
         kept.clear();
         bool dead = false;
         for (size_t j = 0; j < k; ++j) {
           uint32_t c = un.Child(e, j, k);
-          uint32_t nc = on_path[static_cast<size_t>(in.u(c).node)]
+          uint32_t nc = on_path[static_cast<size_t>(in.u(c).node())]
                             ? self(self, c, av, ha)
-                            : Copy(in, c, &mid);
+                            : CopyTree(in, c, &mid);
           if (nc == kNoUnion) {
             dead = true;
             break;
@@ -215,10 +212,14 @@ FRep Absorb(const FRep& in, AttrId a_attr, AttrId b_attr) {
           kept.push_back(nc);
         }
         if (dead) continue;
-        mid.u(nid).values.push_back(un.values[e]);
-        for (uint32_t c : kept) mid.u(nid).children.push_back(c);
+        nu.AddValue(un.value(e));
+        for (uint32_t c : kept) nu.AddChild(c);
       }
-      return mid.u(nid).values.empty() ? kNoUnion : nid;
+      if (nu.empty()) {
+        nu.Abandon();
+        return kNoUnion;
+      }
+      return nu.Finish();
     };
     for (uint32_t r : in.roots()) {
       uint32_t nr = rec(rec, r, 0, false);
@@ -246,29 +247,29 @@ FRep Absorb(const FRep& in, AttrId a_attr, AttrId b_attr) {
 
   std::vector<char> to_p = SubtreeContains(t, p);
   auto rec2 = [&](auto&& self, uint32_t id) -> uint32_t {
-    const UnionNode& un = mid.u(id);
-    if (!to_p[static_cast<size_t>(un.node)]) return Copy(mid, id, &out);
-    const size_t k = t.node(un.node).children.size();
-    uint32_t nid = out.NewUnion(un.node);
-    out.u(nid).values = un.values;
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    UnionRef un = mid.u(id);
+    if (!to_p[static_cast<size_t>(un.node())]) {
+      return CopyTree(mid, id, &out);
+    }
+    const size_t k = t.node(un.node()).children.size();
+    UnionBuilder nu = out.StartUnion(un.node());
+    nu.CopyValues(un);
+    for (size_t e = 0; e < un.size(); ++e) {
       for (size_t j = 0; j < k; ++j) {
         uint32_t c = un.Child(e, j, k);
-        if (un.node == p && j == slot_b) {
+        if (un.node() == p && j == slot_b) {
           // Splice the single B entry's children into this slot.
-          const UnionNode& ub = mid.u(c);
-          FDB_CHECK(ub.values.size() == 1);
+          UnionRef ub = mid.u(c);
+          FDB_CHECK(ub.size() == 1);
           for (size_t s = 0; s < kb; ++s) {
-            uint32_t cc = Copy(mid, ub.Child(0, s, kb), &out);
-            out.u(nid).children.push_back(cc);
+            nu.AddChild(CopyTree(mid, ub.Child(0, s, kb), &out));
           }
         } else {
-          uint32_t cc = self(self, c);
-          out.u(nid).children.push_back(cc);
+          nu.AddChild(self(self, c));
         }
       }
     }
-    return nid;
+    return nu.Finish();
   };
   for (uint32_t r : mid.roots()) out.roots().push_back(rec2(rec2, r));
 

@@ -43,15 +43,14 @@ FRep Product(const FRep& e1, const FRep& e2) {
   if (e1.empty() || e2.empty()) return out;  // empty x E = empty
 
   out.MarkNonEmpty();
-  // Copy e1's pool as-is, then e2's with shifted indices.
+  // Copy e1's unions as-is, then e2's with shifted tree-node ids.
   std::vector<uint32_t> memo1(e1.NumUnions(), ops_internal::kNoUnion);
   for (uint32_t r : e1.roots()) {
     out.roots().push_back(ops_internal::CopySubtree(e1, r, &out, &memo1));
   }
   const int node_offset = static_cast<int>(t1.pool_size());
-  // CopySubtree keeps node ids; shift e2's by rebuilding with offset.
+  // CopySubtree keeps node ids; rebuild e2's with the offset applied.
   std::vector<uint32_t> memo2(e2.NumUnions(), ops_internal::kNoUnion);
-  // Local recursive copy with node offset.
   struct Copier {
     const FRep& src;
     FRep& dst;
@@ -59,16 +58,13 @@ FRep Product(const FRep& e1, const FRep& e2) {
     std::vector<uint32_t>& memo;
     uint32_t Run(uint32_t id) {
       if (memo[id] != ops_internal::kNoUnion) return memo[id];
-      const UnionNode& un = src.u(id);
-      uint32_t nid = dst.NewUnion(un.node + offset);
-      dst.u(nid).values = un.values;
-      dst.u(nid).children.reserve(un.children.size());
-      for (uint32_t c : un.children) {
-        uint32_t cc = Run(c);  // hoisted: Run may grow the pool
-        dst.u(nid).children.push_back(cc);
+      UnionRef un = src.u(id);
+      UnionBuilder b = dst.StartUnion(un.node() + offset);
+      b.CopyValues(un);
+      for (size_t i = 0; i < un.num_children(); ++i) {
+        b.AddChild(Run(un.child(i)));
       }
-      memo[id] = nid;
-      return nid;
+      return memo[id] = b.Finish();
     }
   } copier{e2, out, node_offset, memo2};
   for (uint32_t r : e2.roots()) out.roots().push_back(copier.Run(r));
@@ -77,19 +73,26 @@ FRep Product(const FRep& e1, const FRep& e2) {
 
 namespace ops_internal {
 
+uint32_t CopyTree(const FRep& src, uint32_t id, FRep* dst) {
+  UnionRef un = src.u(id);
+  UnionBuilder b = dst->StartUnion(un.node());
+  b.CopyValues(un);
+  for (size_t i = 0; i < un.num_children(); ++i) {
+    b.AddChild(CopyTree(src, un.child(i), dst));
+  }
+  return b.Finish();
+}
+
 uint32_t CopySubtree(const FRep& src, uint32_t id, FRep* dst,
                      std::vector<uint32_t>* memo) {
   if ((*memo)[id] != kNoUnion) return (*memo)[id];
-  const UnionNode& un = src.u(id);
-  uint32_t nid = dst->NewUnion(un.node);
-  dst->u(nid).values = un.values;
-  dst->u(nid).children.reserve(un.children.size());
-  for (uint32_t c : un.children) {
-    uint32_t cc = CopySubtree(src, c, dst, memo);  // may grow the pool
-    dst->u(nid).children.push_back(cc);
+  UnionRef un = src.u(id);
+  UnionBuilder b = dst->StartUnion(un.node());
+  b.CopyValues(un);
+  for (size_t i = 0; i < un.num_children(); ++i) {
+    b.AddChild(CopySubtree(src, un.child(i), dst, memo));
   }
-  (*memo)[id] = nid;
-  return nid;
+  return (*memo)[id] = b.Finish();
 }
 
 std::vector<char> SubtreeContains(const FTree& tree, int target) {

@@ -5,21 +5,10 @@
 
 namespace fdb {
 
+using ops_internal::CopyTree;
 using ops_internal::SubtreeContains;
 
 namespace {
-
-uint32_t Copy(const FRep& src, uint32_t id, FRep* out) {
-  const UnionNode& un = src.u(id);
-  uint32_t nid = out->NewUnion(un.node);
-  out->u(nid).values = un.values;
-  out->u(nid).children.reserve(un.children.size());
-  for (uint32_t c : un.children) {
-    uint32_t cc = Copy(src, c, out);  // hoisted: Copy may grow the pool
-    out->u(nid).children.push_back(cc);
-  }
-  return nid;
-}
 
 // Removes a fully projected *leaf* node: its unions disappear and the
 // parent's dependency set inherits the leaf's (§3.4). Dropping a leaf union
@@ -38,8 +27,8 @@ FRep RemoveInvisibleLeaf(const FRep& in, int n) {
 
   if (p == -1) {
     for (uint32_t r : in.roots()) {
-      if (in.u(r).node == n) continue;
-      out.roots().push_back(Copy(in, r, &out));
+      if (in.u(r).node() == n) continue;
+      out.roots().push_back(CopyTree(in, r, &out));
     }
     return out;
   }
@@ -50,19 +39,20 @@ FRep RemoveInvisibleLeaf(const FRep& in, int n) {
       std::find(p_children.begin(), p_children.end(), n) - p_children.begin());
 
   auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
-    const UnionNode& un = in.u(id);
-    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
-    const size_t k = t.node(un.node).children.size();
-    uint32_t nid = out.NewUnion(un.node);
-    out.u(nid).values = un.values;
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    UnionRef un = in.u(id);
+    if (!on_path[static_cast<size_t>(un.node())]) {
+      return CopyTree(in, id, &out);
+    }
+    const size_t k = t.node(un.node()).children.size();
+    UnionBuilder nu = out.StartUnion(un.node());
+    nu.CopyValues(un);
+    for (size_t e = 0; e < un.size(); ++e) {
       for (size_t j = 0; j < k; ++j) {
-        if (un.node == p && j == slot_n) continue;  // dropped slot
-        uint32_t cc = self(self, un.Child(e, j, k));
-        out.u(nid).children.push_back(cc);
+        if (un.node() == p && j == slot_n) continue;  // dropped slot
+        nu.AddChild(self(self, un.Child(e, j, k)));
       }
     }
-    return nid;
+    return nu.Finish();
   };
   for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
   return out;

@@ -7,29 +7,14 @@
 
 namespace fdb {
 
-using ops_internal::CopySubtree;
+// CopyTree (ops_common) is deliberately unmemoised here: operators always
+// produce tree-shaped representations (every union has exactly one parent
+// reference), so plain duplication is exact. Swap deliberately duplicates
+// the E_a subtrees per paired B-value — that is the size growth the paper's
+// bounds account for.
+using ops_internal::CopyTree;
 using ops_internal::kNoUnion;
 using ops_internal::SubtreeContains;
-
-namespace {
-
-// Deep copy without memoisation: operators always produce tree-shaped
-// representations (every union has exactly one parent reference), so plain
-// duplication is exact. Swap deliberately duplicates the E_a subtrees per
-// paired B-value — that is the size growth the paper's bounds account for.
-uint32_t Copy(const FRep& src, uint32_t id, FRep* out) {
-  const UnionNode& un = src.u(id);
-  uint32_t nid = out->NewUnion(un.node);
-  out->u(nid).values = un.values;
-  out->u(nid).children.reserve(un.children.size());
-  for (uint32_t c : un.children) {
-    uint32_t cc = Copy(src, c, out);  // hoisted: Copy may grow the pool
-    out->u(nid).children.push_back(cc);
-  }
-  return nid;
-}
-
-}  // namespace
 
 FRep PushUp(const FRep& in, AttrId b_attr) {
   const FTree& t = in.tree();
@@ -58,32 +43,31 @@ FRep PushUp(const FRep& in, AttrId b_attr) {
   // B-union is taken from the first entry (all copies are equal because
   // neither B nor its subtree depends on A).
   auto rebuild_a = [&](uint32_t id, uint32_t* hoisted_b) {
-    const UnionNode& un = in.u(id);
-    FDB_CHECK(un.node == a);
-    *hoisted_b = Copy(in, un.Child(0, slot_b, ka), &out);
-    uint32_t nid = out.NewUnion(a);
-    out.u(nid).values = un.values;
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    UnionRef un = in.u(id);
+    FDB_CHECK(un.node() == a);
+    *hoisted_b = CopyTree(in, un.Child(0, slot_b, ka), &out);
+    UnionBuilder na = out.StartUnion(a);
+    na.CopyValues(un);
+    for (size_t e = 0; e < un.size(); ++e) {
       for (size_t j = 0; j < ka; ++j) {
         if (j == slot_b) continue;
-        uint32_t cc = Copy(in, un.Child(e, j, ka), &out);
-        out.u(nid).children.push_back(cc);
+        na.AddChild(CopyTree(in, un.Child(e, j, ka), &out));
       }
     }
-    return nid;
+    return na.Finish();
   };
 
   if (g == -1) {
     // A is a root: the hoisted B becomes a new root right after A.
     for (size_t i = 0; i < in.roots().size(); ++i) {
       uint32_t r = in.roots()[i];
-      if (in.u(r).node == a) {
+      if (in.u(r).node() == a) {
         uint32_t hb = kNoUnion;
         uint32_t na = rebuild_a(r, &hb);
         out.roots().push_back(na);
         out.roots().push_back(hb);
       } else {
-        out.roots().push_back(Copy(in, r, &out));
+        out.roots().push_back(CopyTree(in, r, &out));
       }
     }
     return out;
@@ -98,38 +82,36 @@ FRep PushUp(const FRep& in, AttrId b_attr) {
       std::find(g_children.begin(), g_children.end(), a) - g_children.begin());
 
   auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
-    const UnionNode& un = in.u(id);
-    if (un.node == g) {
-      uint32_t nid = out.NewUnion(g);
-      out.u(nid).values = un.values;
-      for (size_t e = 0; e < un.values.size(); ++e) {
+    UnionRef un = in.u(id);
+    if (un.node() == g) {
+      UnionBuilder ng = out.StartUnion(g);
+      ng.CopyValues(un);
+      for (size_t e = 0; e < un.size(); ++e) {
         uint32_t hb = kNoUnion;
-        uint32_t na = kNoUnion;
         for (size_t j = 0; j < kg; ++j) {
           uint32_t c = un.Child(e, j, kg);
           if (j == slot_a) {
-            na = rebuild_a(c, &hb);
-            out.u(nid).children.push_back(na);
+            ng.AddChild(rebuild_a(c, &hb));
           } else {
-            uint32_t cc = Copy(in, c, &out);
-            out.u(nid).children.push_back(cc);
+            ng.AddChild(CopyTree(in, c, &out));
           }
         }
-        out.u(nid).children.push_back(hb);  // new last slot for B
+        ng.AddChild(hb);  // new last slot for B
       }
-      return nid;
+      return ng.Finish();
     }
-    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
-    const size_t k = t.node(un.node).children.size();
-    uint32_t nid = out.NewUnion(un.node);
-    out.u(nid).values = un.values;
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    if (!on_path[static_cast<size_t>(un.node())]) {
+      return CopyTree(in, id, &out);
+    }
+    const size_t k = t.node(un.node()).children.size();
+    UnionBuilder nu = out.StartUnion(un.node());
+    nu.CopyValues(un);
+    for (size_t e = 0; e < un.size(); ++e) {
       for (size_t j = 0; j < k; ++j) {
-        uint32_t cc = self(self, un.Child(e, j, k));
-        out.u(nid).children.push_back(cc);
+        nu.AddChild(self(self, un.Child(e, j, k)));
       }
     }
-    return nid;
+    return nu.Finish();
   };
 
   for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
@@ -192,67 +174,65 @@ FRep Swap(const FRep& in, AttrId a_attr, AttrId b_attr) {
   // Fig. 4: regroups one occurrence of A's union by B-values using a
   // min-priority queue of (b value, A-entry index, position).
   auto swap_union = [&](uint32_t id) -> uint32_t {
-    const UnionNode& un = in.u(id);
-    FDB_CHECK(un.node == a);
+    UnionRef un = in.u(id);
+    FDB_CHECK(un.node() == a);
     using Key = std::tuple<Value, size_t, size_t>;
     std::priority_queue<Key, std::vector<Key>, std::greater<Key>> pq;
-    for (size_t e = 0; e < un.values.size(); ++e) {
-      const UnionNode& ub = in.u(un.Child(e, slot_b, ka));
-      pq.push({ub.values[0], e, 0});
+    for (size_t e = 0; e < un.size(); ++e) {
+      pq.push({in.u(un.Child(e, slot_b, ka)).value(0), e, 0});
     }
-    uint32_t nb = out.NewUnion(b);
+    UnionBuilder nb = out.StartUnion(b);
     while (!pq.empty()) {
       const Value bmin = std::get<0>(pq.top());
-      uint32_t va = out.NewUnion(a);  // the union V_bmin of paired A-values
-      std::vector<uint32_t> fb;       // T_B children of bmin, captured once
+      UnionBuilder va = out.StartUnion(a);  // the union V_bmin of paired A's
+      std::vector<uint32_t> fb;             // T_B children of bmin, once
       bool captured = false;
       while (!pq.empty() && std::get<0>(pq.top()) == bmin) {
         auto [bv, e, pos] = pq.top();
         pq.pop();
-        const uint32_t ub_id = un.Child(e, slot_b, ka);
-        const UnionNode& ub = in.u(ub_id);
+        UnionRef ub = in.u(un.Child(e, slot_b, ka));
         if (!captured) {
           for (size_t j : tb_slots) {
-            fb.push_back(Copy(in, ub.Child(pos, j, kb), &out));
+            fb.push_back(CopyTree(in, ub.Child(pos, j, kb), &out));
           }
           captured = true;
         }
         // New A entry: value a_e with children T_A then T_AB.
-        out.u(va).values.push_back(un.values[e]);
+        va.AddValue(un.value(e));
         for (size_t j : ta_slots) {
-          uint32_t cc = Copy(in, un.Child(e, j, ka), &out);
-          out.u(va).children.push_back(cc);
+          va.AddChild(CopyTree(in, un.Child(e, j, ka), &out));
         }
         for (size_t j : tab_slots) {
-          uint32_t cc = Copy(in, ub.Child(pos, j, kb), &out);
-          out.u(va).children.push_back(cc);
+          va.AddChild(CopyTree(in, ub.Child(pos, j, kb), &out));
         }
-        if (pos + 1 < ub.values.size()) {
-          pq.push({ub.values[pos + 1], e, pos + 1});
+        if (pos + 1 < ub.size()) {
+          pq.push({ub.value(pos + 1), e, pos + 1});
         }
       }
-      out.u(nb).values.push_back(bmin);
-      for (uint32_t f : fb) out.u(nb).children.push_back(f);
-      out.u(nb).children.push_back(va);  // A is B's last child
+      uint32_t va_id = va.Finish();
+      nb.AddValue(bmin);
+      for (uint32_t f : fb) nb.AddChild(f);
+      nb.AddChild(va_id);  // A is B's last child
     }
-    return nb;
+    return nb.Finish();
   };
 
   std::vector<char> on_path = SubtreeContains(t, a);
   auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
-    const UnionNode& un = in.u(id);
-    if (un.node == a) return swap_union(id);
-    if (!on_path[static_cast<size_t>(un.node)]) return Copy(in, id, &out);
-    const size_t k = t.node(un.node).children.size();
-    uint32_t nid = out.NewUnion(un.node);
-    out.u(nid).values = un.values;
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    UnionRef un = in.u(id);
+    if (un.node() == a) return swap_union(id);
+    if (!on_path[static_cast<size_t>(un.node())]) {
+      return CopyTree(in, id, &out);
+    }
+    const size_t k = t.node(un.node()).children.size();
+    UnionBuilder nu = out.StartUnion(un.node());
+    nu.CopyValues(un);
+    for (size_t e = 0; e < un.size(); ++e) {
       for (size_t j = 0; j < k; ++j) {
-        uint32_t cc = self(self, un.Child(e, j, k));
-        out.u(nid).children.push_back(cc);
+        nu.AddChild(self(self, un.Child(e, j, k)));
       }
     }
-    return nid;
+    return nu.Finish();
   };
 
   for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));

@@ -31,15 +31,15 @@ FRep SelectConst(const FRep& in, AttrId attr, CmpOp op, Value c) {
 
   // Returns the rebuilt union or kNoUnion if it became empty.
   auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
-    const UnionNode& un = in.u(id);
-    if (!on_path[static_cast<size_t>(un.node)]) {
+    UnionRef un = in.u(id);
+    if (!on_path[static_cast<size_t>(un.node())]) {
       return CopySubtree(in, id, &out, &memo);
     }
-    const size_t k = t.node(un.node).children.size();
-    uint32_t nid = out.NewUnion(un.node);
+    const size_t k = t.node(un.node()).children.size();
+    UnionBuilder nu = out.StartUnion(un.node());
     std::vector<uint32_t> kept_children;
-    for (size_t e = 0; e < un.values.size(); ++e) {
-      if (un.node == x && !EvalCmp(un.values[e], op, c)) continue;
+    for (size_t e = 0; e < un.size(); ++e) {
+      if (un.node() == x && !EvalCmp(un.value(e), op, c)) continue;
       kept_children.clear();
       bool dead = false;
       for (size_t j = 0; j < k; ++j) {
@@ -51,11 +51,14 @@ FRep SelectConst(const FRep& in, AttrId attr, CmpOp op, Value c) {
         kept_children.push_back(nc);
       }
       if (dead) continue;
-      out.u(nid).values.push_back(un.values[e]);
-      for (uint32_t nc : kept_children) out.u(nid).children.push_back(nc);
+      nu.AddValue(un.value(e));
+      for (uint32_t nc : kept_children) nu.AddChild(nc);
     }
-    if (out.u(nid).values.empty()) return kNoUnion;
-    return nid;
+    if (nu.empty()) {
+      nu.Abandon();
+      return kNoUnion;
+    }
+    return nu.Finish();
   };
 
   out.MarkNonEmpty();

@@ -57,14 +57,14 @@ class Printer {
   }
 
   void PrintUnion(uint32_t id, bool parenthesise) {
-    const UnionNode& un = rep_.u(id);
-    const FTreeNode& nd = rep_.tree().node(un.node);
+    UnionRef un = rep_.u(id);
+    const FTreeNode& nd = rep_.tree().node(un.node());
     const size_t k = nd.children.size();
-    bool paren = parenthesise && un.values.size() > 1;
+    bool paren = parenthesise && un.size() > 1;
     if (paren) os_ << '(';
-    for (size_t e = 0; e < un.values.size(); ++e) {
+    for (size_t e = 0; e < un.size(); ++e) {
       if (e) os_ << Cup();
-      PrintSingletons(nd, un.values[e]);
+      PrintSingletons(nd, un.value(e));
       for (size_t j = 0; j < k; ++j) {
         os_ << Times();
         PrintUnion(un.Child(e, j, k), /*parenthesise=*/true);

@@ -70,22 +70,22 @@ void WriteFRep(std::ostream& out, const FRep& rep) {
       if (new_id[id] >= 0) continue;
       new_id[id] = static_cast<int64_t>(order.size());
       order.push_back(id);
-      const UnionNode& un = rep.u(id);
-      for (auto it = un.children.rbegin(); it != un.children.rend(); ++it) {
-        stack.push_back(*it);
+      UnionRef un = rep.u(id);
+      for (size_t i = un.num_children(); i > 0; --i) {
+        stack.push_back(un.child(i - 1));
       }
     }
     for (uint32_t id : order) {
-      const UnionNode& un = rep.u(id);
-      out << "union " << new_id[id] << " node=" << un.node << " values=";
-      for (size_t i = 0; i < un.values.size(); ++i) {
+      UnionRef un = rep.u(id);
+      out << "union " << new_id[id] << " node=" << un.node() << " values=";
+      for (size_t i = 0; i < un.size(); ++i) {
         if (i) out << ',';
-        out << un.values[i];
+        out << un.value(i);
       }
       out << " children=";
-      for (size_t i = 0; i < un.children.size(); ++i) {
+      for (size_t i = 0; i < un.num_children(); ++i) {
         if (i) out << ',';
-        out << new_id[un.children[i]];
+        out << new_id[un.child(i)];
       }
       out << '\n';
     }
@@ -219,24 +219,26 @@ FRep ReadFRep(std::istream& in) {
   FRep rep(std::move(tree));
   if (!empty) {
     rep.MarkNonEmpty();
-    size_t n_unions = unions.size();
+    const size_t n_unions = unions.size();
+    // Ids are dense by construction of the writer (but records may arrive in
+    // any order): index by id, then append to the arena in id order.
+    std::vector<const UnionRec*> by_id(n_unions, nullptr);
     for (const UnionRec& u : unions) {
-      FDB_CHECK_MSG(u.id >= 0 && u.id < static_cast<int64_t>(n_unions),
+      FDB_CHECK_MSG(u.id >= 0 && u.id < static_cast<int64_t>(n_unions) &&
+                        by_id[static_cast<size_t>(u.id)] == nullptr,
                     "union ids must be dense");
-      (void)u;
+      by_id[static_cast<size_t>(u.id)] = &u;
     }
-    // Ids are dense by construction of the writer; allocate then fill.
-    for (size_t i = 0; i < n_unions; ++i) rep.NewUnion(0);
-    for (const UnionRec& u : unions) {
-      UnionNode& un = rep.u(static_cast<uint32_t>(u.id));
-      un.node = u.node;
-      un.values.assign(u.values.begin(), u.values.end());
-      un.children.clear();
+    for (size_t i = 0; i < n_unions; ++i) {
+      const UnionRec& u = *by_id[i];
+      UnionBuilder nu = rep.StartUnion(u.node);
+      for (int64_t v : u.values) nu.AddValue(v);
       for (int64_t c : u.children) {
         FDB_CHECK_MSG(c >= 0 && c < static_cast<int64_t>(n_unions),
                       "dangling child union reference");
-        un.children.push_back(static_cast<uint32_t>(c));
+        nu.AddChild(static_cast<uint32_t>(c));
       }
+      nu.Finish();
     }
     for (int64_t r : uroots) {
       FDB_CHECK_MSG(r >= 0 && r < static_cast<int64_t>(n_unions),

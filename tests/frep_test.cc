@@ -89,9 +89,10 @@ TEST(FRep, NullaryRelation) {
 TEST(FRep, ValidateRejectsUnsortedUnion) {
   FTree t = PathFTree({0}, 0);
   FRep rep{t};
-  uint32_t u = rep.NewUnion(0);
-  rep.u(u).values = {3, 1};  // not ascending
-  rep.roots().push_back(u);
+  UnionBuilder b = rep.StartUnion(0);
+  b.AddValue(3);
+  b.AddValue(1);  // not ascending
+  rep.roots().push_back(b.Finish());
   rep.MarkNonEmpty();
   EXPECT_THROW(rep.Validate(), FdbError);
 }
@@ -99,9 +100,9 @@ TEST(FRep, ValidateRejectsUnsortedUnion) {
 TEST(FRep, ValidateRejectsChildCountMismatch) {
   FTree t = PathFTree({0, 1}, 0);
   FRep rep{t};
-  uint32_t u = rep.NewUnion(0);
-  rep.u(u).values = {1};  // missing the child slot for node 1
-  rep.roots().push_back(u);
+  UnionBuilder b = rep.StartUnion(0);
+  b.AddValue(1);  // missing the child slot for node 1
+  rep.roots().push_back(b.Finish());
   rep.MarkNonEmpty();
   EXPECT_THROW(rep.Validate(), FdbError);
 }
