@@ -80,15 +80,55 @@ int main(int argc, char** argv) {
     } else if (!q.empty()) {
       try {
         FdbResult res = engine.Execute(q);
-        std::cout << ToExpressionString(res.rep, popts) << "\n"
-                  << "-- " << res.NumSingletons() << " singletons, "
-                  << res.FlatTuples() << " tuples, optimise "
-                  << res.optimize_seconds * 1e3 << " ms, evaluate "
-                  << res.evaluate_seconds * 1e3 << " ms\n";
-        RdbResult check = engine.ExecuteRdb(engine.Parse(q));
-        if (static_cast<double>(check.NumTuples()) != res.FlatTuples()) {
-          std::cout << "!! baseline mismatch: RDB reports "
-                    << check.NumTuples() << " tuples\n";
+        if (res.aggregate.has_value()) {
+          const GroupedTable& tbl = *res.aggregate;
+          for (AttrId a : tbl.group_schema) {
+            std::cout << db.catalog().attr(a).name << "  ";
+          }
+          for (const AggSpec& s : tbl.specs) {
+            std::cout << AggFnName(s.fn) << "("
+                      << (s.fn == AggFn::kCount ? "*"
+                                                : db.catalog().attr(s.attr).name)
+                      << ")  ";
+          }
+          std::cout << "\n";
+          for (size_t r = 0; r < tbl.num_rows; ++r) {
+            for (size_t c = 0; c < tbl.group_schema.size(); ++c) {
+              Value v = tbl.KeyAt(r, c);
+              if (db.catalog().attr(tbl.group_schema[c]).is_string &&
+                  db.dict().Contains(v)) {
+                std::cout << db.dict().Decode(v) << "  ";
+              } else {
+                std::cout << v << "  ";
+              }
+            }
+            for (size_t c = 0; c < tbl.specs.size(); ++c) {
+              std::cout << tbl.AggAt(r, c) << "  ";
+            }
+            std::cout << "\n";
+          }
+          std::cout << "-- " << tbl.num_rows << " groups, optimise "
+                    << res.optimize_seconds * 1e3 << " ms, evaluate "
+                    << res.evaluate_seconds * 1e3 << " ms\n";
+          // Cross-check against the flat enumerate-then-hash baseline.
+          Query aq = engine.Parse(q);
+          RdbResult flat = engine.ExecuteRdb(aq.SpjCore());
+          if (!(tbl == HashGroupBy(flat.relation, aq.group_by,
+                                   aq.aggregates))) {
+            std::cout << "!! baseline mismatch: RDB hash aggregation "
+                         "disagrees\n";
+          }
+        } else {
+          std::cout << ToExpressionString(res.rep, popts) << "\n"
+                    << "-- " << res.NumSingletons() << " singletons, "
+                    << res.FlatTuples() << " tuples, optimise "
+                    << res.optimize_seconds * 1e3 << " ms, evaluate "
+                    << res.evaluate_seconds * 1e3 << " ms\n";
+          RdbResult check = engine.ExecuteRdb(engine.Parse(q));
+          if (static_cast<double>(check.NumTuples()) != res.FlatTuples()) {
+            std::cout << "!! baseline mismatch: RDB reports "
+                      << check.NumTuples() << " tuples\n";
+          }
         }
       } catch (const FdbError& e) {
         std::cout << "error: " << e.what() << "\n";

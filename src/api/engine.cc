@@ -15,7 +15,7 @@ FdbResult Engine::EvaluateFlat(const Query& q) {
 
   Timer opt_timer;
   FTreeSearchResult t = FindOptimalFTree(info, solver_);
-  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0};
+  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}};
   res.optimize_seconds = opt_timer.Seconds();
 
   Timer eval_timer;
@@ -42,7 +42,7 @@ FPlanSearchResult Engine::OptimizeOnTree(
 FdbResult Engine::EvaluateOnFRep(
     const FRep& in, const std::vector<std::pair<AttrId, AttrId>>& eqs,
     const std::vector<ConstPred>& preds, AttrSet projection) {
-  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0};
+  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}};
 
   Timer opt_timer;
   // Constant selections are cheapest and run first (§4); they do not change
@@ -78,12 +78,44 @@ FdbResult Engine::JoinFactorised(
   return EvaluateOnFRep(prod, eqs);
 }
 
+AggregateResult Engine::ExecuteAggregate(const Query& q) {
+  AnalyzeQuery(db_->catalog(), q);  // validates group_by/aggregates early
+
+  // Aggregates range over the distinct tuples of the join result taken
+  // over all attributes, so the SPJ part runs without projection.
+  FdbResult base = EvaluateFlat(q.SpjCore());
+
+  AggregateResult res;
+  res.plan = std::move(base.plan);
+  res.optimize_seconds = base.optimize_seconds;
+
+  Timer agg_timer;
+  res.grouped = GroupByAggregate(base.rep, q.group_by, q.aggregates,
+                                 &solver_, &res.plan);
+  res.table = res.grouped.Materialize();
+  res.table.SortByKey();
+  res.evaluate_seconds = base.evaluate_seconds + agg_timer.Seconds();
+  return res;
+}
+
+AggregateResult Engine::ExecuteAggregate(const std::string& sql_text) {
+  return ExecuteAggregate(Parse(sql_text));
+}
+
 Query Engine::Parse(const std::string& sql_text) {
   return ParseSql(sql_text, db_->catalog(), &db_->dict());
 }
 
 FdbResult Engine::Execute(const std::string& sql_text) {
-  return EvaluateFlat(Parse(sql_text));
+  Query q = Parse(sql_text);
+  if (q.IsAggregate()) {
+    AggregateResult ar = ExecuteAggregate(q);
+    FdbResult res{std::move(ar.grouped.rep), std::move(ar.plan),
+                  ar.optimize_seconds, ar.evaluate_seconds, {}};
+    res.aggregate = std::move(ar.table);
+    return res;
+  }
+  return EvaluateFlat(q);
 }
 
 RdbResult Engine::ExecuteRdb(const Query& q, const RdbOptions& opts) const {

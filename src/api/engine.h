@@ -10,10 +10,12 @@
 #ifndef FDB_API_ENGINE_H_
 #define FDB_API_ENGINE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/database.h"
+#include "core/aggregate.h"
 #include "core/fplan.h"
 #include "core/frep.h"
 #include "core/ground.h"
@@ -39,8 +41,21 @@ struct FdbResult {
   double optimize_seconds = 0.0;
   double evaluate_seconds = 0.0;
 
+  /// Filled only when Execute() dispatched an aggregate query: the flat
+  /// grouped table; `rep` then holds the factorised distinct groups.
+  std::optional<GroupedTable> aggregate;
+
   size_t NumSingletons() const { return rep.NumSingletons(); }
   double FlatTuples() const { return rep.CountTuples(); }
+};
+
+/// Outcome of a grouped-aggregate evaluation (Engine::ExecuteAggregate).
+struct AggregateResult {
+  GroupedRep grouped;  ///< factorised groups + collapsed per-entry payloads
+  GroupedTable table;  ///< flat materialisation (one row per group)
+  FPlan plan;          ///< SPJ plan followed by the grouping swaps
+  double optimize_seconds = 0.0;
+  double evaluate_seconds = 0.0;
 };
 
 /// The query engine; borrows the database (which must outlive it; mutable
@@ -79,11 +94,25 @@ class Engine {
   FdbResult JoinFactorised(const FRep& lhs, const FRep& rhs,
                            const std::vector<std::pair<AttrId, AttrId>>& eqs);
 
-  /// Parses an SPJ SQL string against the database (string literals are
-  /// interned into the dictionary).
+  /// Grouped aggregation inside the factorisation: evaluates the SPJ part
+  /// of `q` factorised over *all* attributes (aggregates range over the
+  /// distinct tuples of the join result), then restructures and collapses
+  /// the result (core/aggregate.h). `q.group_by` / `q.aggregates` drive
+  /// the grouping; a query without either computes the single global group
+  /// of its aggregates. The empty join result yields zero rows — also for
+  /// the global group, diverging from SQL's single COUNT = 0 row (FDB has
+  /// no NULLs for the SUM/MIN/MAX columns of such a row; the HashGroupBy
+  /// baseline makes the same choice).
+  AggregateResult ExecuteAggregate(const Query& q);
+  AggregateResult ExecuteAggregate(const std::string& sql_text);
+
+  /// Parses an SPJ / grouped-aggregate SQL string against the database
+  /// (string literals are interned into the dictionary).
   Query Parse(const std::string& sql_text);
 
-  /// Parses and evaluates an SPJ SQL string (flat path).
+  /// Parses and evaluates an SQL string. SPJ queries run the flat path;
+  /// aggregate queries dispatch to ExecuteAggregate, returning the grouped
+  /// table in FdbResult::aggregate with the factorised groups as `rep`.
   FdbResult Execute(const std::string& sql_text);
 
   /// Baselines.

@@ -1,0 +1,38 @@
+// FNV-1a folding over sequences of 64-bit scalars — the one hash used by
+// every value-vector keyed map in FDB (hash join keys, GROUP BY keys, the
+// edge-cover LP memo), so the constants and mixing live in one place.
+#ifndef FDB_COMMON_HASH_H_
+#define FDB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fdb {
+
+inline uint64_t Fnv1a64(const uint64_t* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;  // fold the high bits back down (word-sized inputs)
+  }
+  return h;
+}
+
+/// Hash functor for vectors of 64-bit scalars (Value or uint64_t keys).
+struct VecHash64 {
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    return static_cast<size_t>(Fnv1a64(v.data(), v.size()));
+  }
+  size_t operator()(const std::vector<int64_t>& v) const {
+    // Accessing int64_t storage through the corresponding unsigned type is
+    // well-defined.
+    return static_cast<size_t>(
+        Fnv1a64(reinterpret_cast<const uint64_t*>(v.data()), v.size()));
+  }
+};
+
+}  // namespace fdb
+
+#endif  // FDB_COMMON_HASH_H_

@@ -43,6 +43,29 @@ class FdbError : public std::runtime_error {
   explicit FdbError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+/// Overflow-checked unsigned arithmetic. The tuple-count dynamic programs
+/// (FRep::CountTuples, core/aggregate.cc) accumulate in uint64_t so counts
+/// stay exact; these helpers let them detect saturation instead of wrapping.
+inline bool U64MulOverflow(uint64_t a, uint64_t b, uint64_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_mul_overflow(a, b, out);
+#else
+  if (b != 0 && a > UINT64_MAX / b) return true;
+  *out = a * b;
+  return false;
+#endif
+}
+
+inline bool U64AddOverflow(uint64_t a, uint64_t b, uint64_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_add_overflow(a, b, out);
+#else
+  if (a > UINT64_MAX - b) return true;
+  *out = a + b;
+  return false;
+#endif
+}
+
 namespace internal {
 
 inline void ThrowCheckFailure(const char* expr, const char* file, int line,

@@ -4,9 +4,28 @@
 #include <limits>
 #include <unordered_set>
 
+#include "core/enumerate.h"
+#include "core/ops.h"
+
 namespace fdb {
 
 namespace {
+
+constexpr const char* kCountOverflow =
+    "aggregate tuple count overflows uint64 — a weighted aggregate over "
+    "this representation would be silently inexact";
+
+uint64_t MulCount(uint64_t a, uint64_t b) {
+  uint64_t out;
+  FDB_CHECK_MSG(!U64MulOverflow(a, b, &out), kCountOverflow);
+  return out;
+}
+
+uint64_t AddCount(uint64_t a, uint64_t b) {
+  uint64_t out;
+  FDB_CHECK_MSG(!U64AddOverflow(a, b, &out), kCountOverflow);
+  return out;
+}
 
 // DP over the union pool: for each union, the tuple count of the sub-
 // representation and the sum of `attr` over its tuples. For an entry with
@@ -14,8 +33,10 @@ namespace {
 //   count contribution:  prod_j c_j
 //   sum contribution:    [node has attr] * v * prod_j c_j
 //                        + sum_j s_j * prod_{j' != j} c_{j'}
+// Counts accumulate in uint64_t and throw on overflow: past 2^64 the
+// weighted sum recurrence would silently round, so SUM/AVG refuse.
 struct CountSum {
-  double count = 0.0;
+  uint64_t count = 0;
   double sum = 0.0;
 };
 
@@ -29,17 +50,18 @@ CountSum SolveUnion(const FRep& rep, uint32_t id, AttrId attr,
 
   CountSum out;
   for (size_t e = 0; e < un.size(); ++e) {
-    double prod = 1.0;
+    uint64_t prod = 1;
     double weighted = 0.0;  // sum_j s_j * prod_{j' != j} c_{j'}
     for (size_t j = 0; j < k; ++j) {
       CountSum c = SolveUnion(rep, un.Child(e, j, k), attr, memo, done);
-      weighted = weighted * c.count + c.sum * prod;
-      prod *= c.count;
+      weighted = weighted * static_cast<double>(c.count) +
+                 c.sum * static_cast<double>(prod);
+      prod = MulCount(prod, c.count);
     }
-    out.count += prod;
+    out.count = AddCount(out.count, prod);
     out.sum += weighted;
     if (has_attr) {
-      out.sum += static_cast<double>(un.value(e)) * prod;
+      out.sum += static_cast<double>(un.value(e)) * static_cast<double>(prod);
     }
   }
   memo[id] = out;
@@ -53,11 +75,12 @@ CountSum SolveUnion(const FRep& rep, uint32_t id, AttrId attr,
 CountSum SolveForest(const FRep& rep, AttrId attr) {
   std::vector<CountSum> memo(rep.NumUnions());
   std::vector<char> done(rep.NumUnions(), 0);
-  CountSum total{1.0, 0.0};
+  CountSum total{1, 0.0};
   for (uint32_t r : rep.roots()) {
     CountSum c = SolveUnion(rep, r, attr, memo, done);
-    total.sum = total.sum * c.count + c.sum * total.count;
-    total.count *= c.count;
+    total.sum = total.sum * static_cast<double>(c.count) +
+                c.sum * static_cast<double>(total.count);
+    total.count = MulCount(total.count, c.count);
   }
   return total;
 }
@@ -92,7 +115,6 @@ double Count(const FRep& rep) { return rep.CountTuples(); }
 double Sum(const FRep& rep, AttrId attr) {
   NodeOfAttr(rep, attr);
   if (rep.empty()) return 0.0;
-  if (rep.roots().empty()) return 0.0;  // nullary: no attributes (unreached)
   return SolveForest(rep, attr).sum;
 }
 
@@ -100,7 +122,7 @@ double Avg(const FRep& rep, AttrId attr) {
   NodeOfAttr(rep, attr);
   FDB_CHECK_MSG(!rep.empty(), "AVG over the empty relation");
   CountSum cs = SolveForest(rep, attr);
-  return cs.sum / cs.count;
+  return cs.sum / static_cast<double>(cs.count);
 }
 
 Value Min(const FRep& rep, AttrId attr) {
@@ -131,6 +153,487 @@ size_t CountDistinct(const FRep& rep, AttrId attr) {
     seen.insert(un.values(), un.values() + un.size());
   });
   return seen.size();
+}
+
+// ---------------------------------------------------------------------------
+// Grouped aggregation (restructure-then-collapse; see aggregate.h).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kNoNewUnion = 0xFFFFFFFFu;
+
+// Repeated chi swaps until every node whose class meets `group_attrs` has
+// only such nodes as ancestors (the grouping classes become the f-tree's
+// upper fragment). Swaps are always applicable to a (parent, child) pair;
+// each one strictly shrinks the total number of non-group ancestors of
+// group nodes, so the loop terminates. Among the applicable swaps the one
+// whose resulting tree has the smallest s(T) is taken (greedy; mirrors the
+// f-plan optimiser's cost measure without its equality-driven goal test).
+FRep RestructureForGrouping(const FRep& in, AttrSet group_attrs,
+                            EdgeCoverSolver& solver, FPlan* plan_out) {
+  FRep cur = in;
+  for (;;) {
+    const FTree& t = cur.tree();
+    int best_a = -1, best_b = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int b : t.AliveNodes()) {
+      if (!t.node(b).attrs.Intersects(group_attrs)) continue;
+      int a = t.node(b).parent;
+      if (a == -1 || t.node(a).attrs.Intersects(group_attrs)) continue;
+      FTree sim = t;
+      sim.SwapTree(a, b);
+      double cost = sim.Cost(solver);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_a = a;
+        best_b = b;
+      }
+    }
+    if (best_b == -1) return cur;
+    AttrId aa = t.node(best_a).attrs.Min();
+    AttrId ba = t.node(best_b).attrs.Min();
+    cur = Swap(cur, aa, ba);
+    if (plan_out != nullptr) {
+      plan_out->steps.push_back(PlanStep::MakeSwap(aa, ba));
+    }
+  }
+}
+
+// Memoised multi-spec statistics of whole sub-representations (the parts
+// below the grouping frontier and the global root trees): tuple count plus
+// per-spec sum/min/max of the spec's attribute. One pass over each
+// reachable union, shared subtrees solved once.
+struct CollapseCtx {
+  const FRep& rep;
+  const std::vector<AggSpec>& specs;
+  // spec_slot[node][j]: -1 when spec j's attribute is in the node's own
+  // class, a child-slot index when it lives in that child's subtree, -2
+  // when absent from the subtree (or spec j is COUNT).
+  std::vector<std::vector<int>> spec_slot;
+
+  std::vector<char> done;
+  std::vector<uint64_t> count;  ///< [union]
+  std::vector<double> sum;      ///< [spec * NumUnions + union]
+  std::vector<Value> mn, mx;    ///< [spec * NumUnions + union]
+};
+
+// Iterative post-order (shared subtrees solved once); the memo arrays of
+// `c` start zeroed / at the min-max sentinels, so stats accumulate into
+// the owning union's slots directly.
+void SolveStats(CollapseCtx& c, uint32_t root) {
+  if (c.done[root]) return;
+  const size_t ns = c.specs.size();
+  const size_t nu = c.rep.NumUnions();
+  std::vector<uint32_t> stack{root};
+  std::vector<double> weighted(ns);
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    if (c.done[id]) {
+      stack.pop_back();
+      continue;
+    }
+    UnionRef un = c.rep.u(id);
+    bool ready = true;
+    const uint32_t* kids = un.children();
+    for (size_t i = 0; i < un.num_children(); ++i) {
+      if (!c.done[kids[i]]) {
+        if (ready) ready = false;
+        stack.push_back(kids[i]);
+      }
+    }
+    if (!ready) continue;
+
+    const FTreeNode& nd = c.rep.tree().node(un.node());
+    const size_t k = nd.children.size();
+    const std::vector<int>& slot =
+        c.spec_slot[static_cast<size_t>(un.node())];
+    uint64_t total_count = 0;
+    for (size_t e = 0; e < un.size(); ++e) {
+      uint64_t prod = 1;
+      std::fill(weighted.begin(), weighted.end(), 0.0);
+      for (size_t j = 0; j < k; ++j) {
+        uint32_t ch = un.Child(e, j, k);
+        for (size_t s = 0; s < ns; ++s) {
+          weighted[s] = weighted[s] * static_cast<double>(c.count[ch]) +
+                        c.sum[s * nu + ch] * static_cast<double>(prod);
+        }
+        prod = MulCount(prod, c.count[ch]);
+      }
+      total_count = AddCount(total_count, prod);
+      for (size_t s = 0; s < ns; ++s) {
+        c.sum[s * nu + id] += weighted[s];
+        if (slot[s] == -1) {
+          c.sum[s * nu + id] += static_cast<double>(un.value(e)) *
+                                static_cast<double>(prod);
+        } else if (slot[s] >= 0) {
+          uint32_t ch = un.Child(e, static_cast<size_t>(slot[s]), k);
+          c.mn[s * nu + id] = std::min(c.mn[s * nu + id], c.mn[s * nu + ch]);
+          c.mx[s * nu + id] = std::max(c.mx[s * nu + id], c.mx[s * nu + ch]);
+        }
+      }
+    }
+    for (size_t s = 0; s < ns; ++s) {
+      if (slot[s] == -1) {
+        c.mn[s * nu + id] = un.value(0);  // values are sorted
+        c.mx[s * nu + id] = un.value(un.size() - 1);
+      }
+    }
+    c.count[id] = total_count;
+    c.done[id] = 1;
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+uint64_t GroupedRep::NumGroups() const {
+  return rep.empty() ? 0 : rep.CountTuplesExact();
+}
+
+GroupedTable GroupedRep::Materialize() const {
+  GroupedTable tbl;
+  tbl.group_schema = group_attrs.ToVector();
+  tbl.specs = specs;
+  if (rep.empty()) return tbl;
+
+  const FTree& t = rep.tree();
+  const size_t ns = specs.size();
+
+  // Pre-order frames over the group forest (shared with TupleEnumerator)
+  // plus the per-frame odometer state of this walk.
+  struct Frame : PreOrderFrame {
+    uint32_t union_id = 0;
+    size_t entry = 0;
+    size_t off = 0;  ///< current union's arena offset
+  };
+  std::vector<Frame> frames;
+  std::vector<int> frame_of(t.pool_size(), -1);
+  for (const PreOrderFrame& pf : BuildPreOrderFrames(t)) {
+    Frame f;
+    static_cast<PreOrderFrame&>(f) = pf;
+    frame_of[static_cast<size_t>(f.node)] = static_cast<int>(frames.size());
+    frames.push_back(f);
+  }
+
+  std::vector<Value> cur_val(kMaxAttrs, 0);
+  std::vector<Value> key(tbl.group_schema.size());
+  std::vector<double> row(ns);
+  // Per-depth scratch for the running per-spec sums (avoids per-entry
+  // allocation in the recursion below).
+  std::vector<std::vector<double>> sums_at(frames.size() + 1,
+                                           std::vector<double>(ns, 0.0));
+
+  const double g_count = static_cast<double>(global_count);
+
+  auto emit = [&](uint64_t cnt, const std::vector<double>& sums) {
+    uint64_t total = MulCount(cnt, global_count);
+    for (size_t j = 0; j < ns; ++j) {
+      const AggSpec& sp = specs[j];
+      // Pair-combine of the group-local fold with the global multipliers:
+      // SUM = sums[j] * G + global_sum[j] * cnt (exactly one term is
+      // non-zero unless the spec's attribute is a group attribute).
+      switch (sp.fn) {
+        case AggFn::kCount:
+          row[j] = static_cast<double>(total);
+          break;
+        case AggFn::kSum:
+        case AggFn::kAvg: {
+          double s = spec_where[j] == Where::kGroup
+                         ? static_cast<double>(cur_val[sp.attr]) *
+                               static_cast<double>(total)
+                         : sums[j] * g_count +
+                               global_sum[j] * static_cast<double>(cnt);
+          row[j] = sp.fn == AggFn::kSum ? s : s / static_cast<double>(total);
+          break;
+        }
+        case AggFn::kMin:
+        case AggFn::kMax: {
+          Value v = 0;
+          if (spec_where[j] == Where::kGroup) {
+            v = cur_val[sp.attr];
+          } else if (spec_where[j] == Where::kGlobal) {
+            v = sp.fn == AggFn::kMin ? global_min[j] : global_max[j];
+          } else {
+            const Frame& f =
+                frames[static_cast<size_t>(frame_of[spec_node[j]])];
+            size_t gi = f.off + f.entry;
+            v = sp.fn == AggFn::kMin ? entry_min[j][gi] : entry_max[j][gi];
+          }
+          row[j] = static_cast<double>(v);
+          break;
+        }
+      }
+    }
+    for (size_t c = 0; c < key.size(); ++c) {
+      key[c] = cur_val[tbl.group_schema[c]];
+    }
+    tbl.AddRow(key, row);
+  };
+
+  auto rec = [&](auto&& self, size_t i, uint64_t cnt) -> void {
+    if (i == frames.size()) {
+      emit(cnt, sums_at[i]);
+      return;
+    }
+    Frame& f = frames[i];
+    if (f.parent_pos < 0) {
+      f.union_id = rep.roots()[f.slot];
+    } else {
+      const Frame& pf = frames[static_cast<size_t>(f.parent_pos)];
+      UnionRef pu = rep.u(pf.union_id);
+      const size_t k = t.node(pf.node).children.size();
+      f.union_id = pu.Child(pf.entry, f.slot, k);
+    }
+    UnionRef un = rep.u(f.union_id);
+    f.off = un.arena_offset();
+    const AttrSet attrs = t.node(f.node).attrs;
+    const std::vector<double>& sums = sums_at[i];
+    std::vector<double>& next = sums_at[i + 1];
+    for (size_t e = 0; e < un.size(); ++e) {
+      f.entry = e;
+      for (AttrId a : attrs) cur_val[a] = un.value(e);
+      const size_t gi = f.off + e;
+      for (size_t s = 0; s < ns; ++s) {
+        next[s] = sums[s] * static_cast<double>(entry_count[gi]) +
+                  entry_sum[s][gi] * static_cast<double>(cnt);
+      }
+      self(self, i + 1, MulCount(cnt, entry_count[gi]));
+    }
+  };
+  rec(rec, 0, 1);
+  return tbl;
+}
+
+GroupedRep GroupByAggregate(const FRep& in, AttrSet group_attrs,
+                            std::vector<AggSpec> specs,
+                            EdgeCoverSolver* solver, FPlan* plan_out) {
+  for (AttrId a : group_attrs) {
+    FDB_CHECK_MSG(in.tree().FindAttr(a) >= 0,
+                  "GROUP BY attribute not in the f-tree");
+  }
+  for (const AggSpec& s : specs) {
+    if (s.fn == AggFn::kCount) continue;
+    FDB_CHECK_MSG(in.tree().FindAttr(s.attr) >= 0,
+                  std::string(AggFnName(s.fn)) +
+                      " attribute not in the f-tree");
+  }
+
+  EdgeCoverSolver local_solver;
+  FRep cur = RestructureForGrouping(
+      in, group_attrs, solver != nullptr ? *solver : local_solver, plan_out);
+  const FTree& t = cur.tree();
+  const size_t ns = specs.size();
+
+  std::vector<char> is_group(t.pool_size(), 0);
+  for (int n : t.AliveNodes()) {
+    if (t.node(n).attrs.Intersects(group_attrs)) {
+      is_group[static_cast<size_t>(n)] = 1;
+    }
+  }
+
+  // The group forest: copies of the grouping nodes with structure (and
+  // child order) preserved. Pre-order guarantees parents come first; every
+  // group node's parent is a group node after restructuring.
+  std::vector<int> order = t.PreOrder();
+  FTree gt;
+  std::vector<int> new_node(t.pool_size(), -1);
+  for (int n : order) {
+    if (!is_group[static_cast<size_t>(n)]) continue;
+    const FTreeNode& nd = t.node(n);
+    int nn = gt.NewNode(nd.attrs, nd.visible, nd.cover_rels, nd.dep_rels);
+    gt.node(nn).constant = nd.constant;
+    new_node[static_cast<size_t>(n)] = nn;
+    if (nd.parent == -1) {
+      gt.AttachRoot(nn);
+    } else {
+      gt.AttachChild(new_node[static_cast<size_t>(nd.parent)], nn);
+    }
+  }
+
+  // Attribute containment per subtree (reverse pre-order), used to place
+  // each spec and to route MIN/MAX through the child that owns the attr.
+  std::vector<AttrSet> sub_attrs(t.pool_size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const FTreeNode& nd = t.node(*it);
+    AttrSet s = nd.attrs;
+    for (int c : nd.children) s = s.Union(sub_attrs[static_cast<size_t>(c)]);
+    sub_attrs[static_cast<size_t>(*it)] = s;
+  }
+
+  GroupedRep out;
+  out.group_attrs = group_attrs;
+  out.specs = std::move(specs);
+  out.spec_where.assign(ns, GroupedRep::Where::kNone);
+  out.spec_node.assign(ns, -1);
+  out.entry_sum.assign(ns, {});
+  out.entry_min.assign(ns, {});
+  out.entry_max.assign(ns, {});
+  out.global_sum.assign(ns, 0.0);
+  out.global_min.assign(ns, std::numeric_limits<Value>::max());
+  out.global_max.assign(ns, std::numeric_limits<Value>::min());
+
+  for (size_t j = 0; j < ns; ++j) {
+    if (out.specs[j].fn == AggFn::kCount) continue;
+    int n = t.FindAttr(out.specs[j].attr);
+    if (is_group[static_cast<size_t>(n)]) {
+      out.spec_where[j] = GroupedRep::Where::kGroup;
+      out.spec_node[j] = new_node[static_cast<size_t>(n)];
+      continue;
+    }
+    // Climb to the top of the non-group region containing n.
+    int p = n;
+    while (t.node(p).parent != -1 &&
+           !is_group[static_cast<size_t>(t.node(p).parent)]) {
+      p = t.node(p).parent;
+    }
+    if (t.node(p).parent == -1) {
+      out.spec_where[j] = GroupedRep::Where::kGlobal;
+    } else {
+      out.spec_where[j] = GroupedRep::Where::kBelow;
+      out.spec_node[j] =
+          new_node[static_cast<size_t>(t.node(p).parent)];
+    }
+  }
+
+  if (cur.empty()) {
+    out.rep = FRep{std::move(gt)};
+    return out;
+  }
+
+  // Collapse context (per-node spec routing plus the memoised DP).
+  CollapseCtx ctx{cur, out.specs, {}, {}, {}, {}, {}, {}};
+  ctx.spec_slot.assign(t.pool_size(), std::vector<int>(ns, -2));
+  for (int n : t.AliveNodes()) {
+    const FTreeNode& nd = t.node(n);
+    for (size_t j = 0; j < ns; ++j) {
+      if (out.specs[j].fn == AggFn::kCount) continue;
+      AttrId a = out.specs[j].attr;
+      if (nd.attrs.Contains(a)) {
+        ctx.spec_slot[static_cast<size_t>(n)][j] = -1;
+      } else {
+        for (size_t c = 0; c < nd.children.size(); ++c) {
+          if (sub_attrs[static_cast<size_t>(nd.children[c])].Contains(a)) {
+            ctx.spec_slot[static_cast<size_t>(n)][j] = static_cast<int>(c);
+            break;
+          }
+        }
+      }
+    }
+  }
+  const size_t nu = cur.NumUnions();
+  ctx.done.assign(nu, 0);
+  ctx.count.assign(nu, 0);
+  ctx.sum.assign(ns * nu, 0.0);
+  ctx.mn.assign(ns * nu, std::numeric_limits<Value>::max());
+  ctx.mx.assign(ns * nu, std::numeric_limits<Value>::min());
+
+  // Global root trees (no grouping class anywhere): collapse each whole
+  // tree and pair-combine into the global multipliers.
+  for (size_t i = 0; i < cur.roots().size(); ++i) {
+    int rn = t.roots()[i];
+    if (is_group[static_cast<size_t>(rn)]) continue;
+    uint32_t rid = cur.roots()[i];
+    SolveStats(ctx, rid);
+    for (size_t s = 0; s < ns; ++s) {
+      out.global_sum[s] =
+          out.global_sum[s] * static_cast<double>(ctx.count[rid]) +
+          ctx.sum[s * nu + rid] * static_cast<double>(out.global_count);
+      if (out.specs[s].fn != AggFn::kCount &&
+          sub_attrs[static_cast<size_t>(rn)].Contains(out.specs[s].attr)) {
+        out.global_min[s] = ctx.mn[s * nu + rid];
+        out.global_max[s] = ctx.mx[s * nu + rid];
+      }
+    }
+    out.global_count = MulCount(out.global_count, ctx.count[rid]);
+  }
+
+  // Rebuild the group forest's unions, collapsing every removed child
+  // slot into the owning entry's payload. Memoised so shared subtrees
+  // (push-up hoists copies) stay shared in the grouped rep.
+  FRep grep{std::move(gt)};
+  grep.MarkNonEmpty();
+  // Per-node slot split, aligned with the new tree's child order.
+  std::vector<std::vector<size_t>> group_slots(t.pool_size());
+  std::vector<std::vector<size_t>> removed_slots(t.pool_size());
+  for (int n : t.AliveNodes()) {
+    if (!is_group[static_cast<size_t>(n)]) continue;
+    const auto& ch = t.node(n).children;
+    for (size_t c = 0; c < ch.size(); ++c) {
+      if (is_group[static_cast<size_t>(ch[c])]) {
+        group_slots[static_cast<size_t>(n)].push_back(c);
+      } else {
+        removed_slots[static_cast<size_t>(n)].push_back(c);
+      }
+    }
+  }
+
+  std::vector<uint32_t> rebuilt(nu, kNoNewUnion);
+  std::vector<double> esum(ns);
+  auto rebuild = [&](auto&& self, uint32_t id) -> uint32_t {
+    if (rebuilt[id] != kNoNewUnion) return rebuilt[id];
+    UnionRef un = cur.u(id);
+    const int n = un.node();
+    const size_t k = t.node(n).children.size();
+    const auto& gslots = group_slots[static_cast<size_t>(n)];
+    const auto& rslots = removed_slots[static_cast<size_t>(n)];
+
+    UnionBuilder nb = grep.StartUnion(new_node[static_cast<size_t>(n)]);
+    nb.CopyValues(un);
+    const size_t len = un.size();
+    std::vector<uint64_t> pcount(len, 1);
+    std::vector<double> psum(ns * len, 0.0);
+    std::vector<Value> pmin(ns * len, std::numeric_limits<Value>::max());
+    std::vector<Value> pmax(ns * len, std::numeric_limits<Value>::min());
+    for (size_t e = 0; e < len; ++e) {
+      for (size_t j : gslots) {
+        nb.AddChild(self(self, un.Child(e, j, k)));
+      }
+      uint64_t cnt = 1;
+      std::fill(esum.begin(), esum.end(), 0.0);
+      for (size_t j : rslots) {
+        uint32_t ch = un.Child(e, j, k);
+        SolveStats(ctx, ch);
+        for (size_t s = 0; s < ns; ++s) {
+          esum[s] = esum[s] * static_cast<double>(ctx.count[ch]) +
+                    ctx.sum[s * nu + ch] * static_cast<double>(cnt);
+          if (out.specs[s].fn != AggFn::kCount &&
+              sub_attrs[static_cast<size_t>(t.node(n).children[j])].Contains(
+                  out.specs[s].attr)) {
+            pmin[s * len + e] = ctx.mn[s * nu + ch];
+            pmax[s * len + e] = ctx.mx[s * nu + ch];
+          }
+        }
+        cnt = MulCount(cnt, ctx.count[ch]);
+      }
+      pcount[e] = cnt;
+      for (size_t s = 0; s < ns; ++s) psum[s * len + e] = esum[s];
+    }
+    uint32_t nid = nb.Finish();
+    const size_t off = grep.u(nid).arena_offset();
+    // Commit order equals arena order, so the payload arrays grow exactly
+    // in step with the value arena.
+    FDB_CHECK(off == out.entry_count.size());
+    out.entry_count.insert(out.entry_count.end(), pcount.begin(),
+                           pcount.end());
+    for (size_t s = 0; s < ns; ++s) {
+      out.entry_sum[s].insert(out.entry_sum[s].end(), &psum[s * len],
+                              &psum[s * len] + len);
+      out.entry_min[s].insert(out.entry_min[s].end(), &pmin[s * len],
+                              &pmin[s * len] + len);
+      out.entry_max[s].insert(out.entry_max[s].end(), &pmax[s * len],
+                              &pmax[s * len] + len);
+    }
+    rebuilt[id] = nid;
+    return nid;
+  };
+
+  for (size_t i = 0; i < cur.roots().size(); ++i) {
+    if (!is_group[static_cast<size_t>(t.roots()[i])]) continue;
+    grep.roots().push_back(rebuild(rebuild, cur.roots()[i]));
+  }
+  out.rep = std::move(grep);
+  return out;
 }
 
 }  // namespace fdb

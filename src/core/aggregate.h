@@ -2,31 +2,65 @@
 //
 // Factorised representations support aggregation in time linear in |E|
 // rather than in the number of represented tuples: counts and sums
-// distribute over the union/product structure (this is the direction the
-// factorised-database line later developed into the F and LMFAO systems;
-// the FDB paper positions factorised results as "compilations of query
-// results that allow for efficient subsequent processing", §1).
+// distribute over the union/product structure, and GROUP BY evaluates
+// inside the factorisation once the grouping attributes form the upper
+// fragment of the f-tree (Bakibayev, Kočiský, Olteanu, Závodný:
+// "Aggregation and Ordering in Factorised Databases", PVLDB'13 — the
+// follow-up to the FDB paper, which positions factorised results as
+// "compilations of query results that allow for efficient subsequent
+// processing", §1).
+//
+// Grouped aggregation is restructure-then-collapse:
+//   1. restructure — repeated chi swaps (core/ops_restructure.cc) lift
+//      every node whose class meets the GROUP BY set above all non-group
+//      nodes, so the grouping classes become an upper fragment of the
+//      f-tree ("aggregations compatible with the f-tree order"). Among the
+//      applicable swaps the cheapest next tree by s(T) is chosen greedily.
+//   2. collapse — one linear pass over the union arenas replaces every
+//      subtree hanging below the grouping frontier by its aggregate
+//      statistics (tuple count, per-attribute sum/min/max), attached to
+//      the union entry that owned the subtree. Root trees containing no
+//      grouping class collapse into global multipliers shared by all
+//      groups.
+// The result is a factorised representation of the *distinct groups* plus
+// per-entry payloads (GroupedRep) from which every per-group aggregate is
+// a product/sum along the group's root-to-leaf entries — time linear in
+// the representation size, never in the number of represented tuples.
+//
+// Exactness: all tuple counts are accumulated in uint64_t with overflow
+// checks. Aggregates whose value would silently be wrong past saturation
+// (SUM/AVG weighting, per-group counts) throw FdbError instead of
+// returning a rounded double; Count() reports approximate counts past
+// 2^64 via the `exact` flag of FRep::CountTuples.
 //
 // Semantics: aggregates range over the *distinct tuples* of the represented
-// relation (relations are sets), over all attributes of the f-tree.
+// relation (relations are sets), over all attributes of the f-tree,
+// visible or not. The nullary relation <> has COUNT 1; attribute
+// aggregates over it throw (no attribute labels an f-tree node).
 #ifndef FDB_CORE_AGGREGATE_H_
 #define FDB_CORE_AGGREGATE_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "core/fplan.h"
 #include "core/frep.h"
+#include "storage/query.h"
 
 namespace fdb {
 
-/// COUNT(*): number of represented tuples. Exact up to 2^53 (delegates to
-/// FRep::CountTuples).
+/// COUNT(*): number of represented tuples. Exact while the count fits a
+/// double round trip (delegates to FRep::CountTuples).
 double Count(const FRep& rep);
 
 /// SUM(attr) over all represented tuples. The attribute must label an
-/// alive f-tree node. Returns 0 for the empty relation.
+/// alive f-tree node. Returns 0 for the empty relation. Throws FdbError
+/// when an intermediate tuple count overflows uint64 (the weighted sum
+/// would be silently wrong).
 double Sum(const FRep& rep, AttrId attr);
 
-/// AVG(attr); throws FdbError on the empty relation.
+/// AVG(attr); throws FdbError on the empty relation (and on count
+/// overflow, like Sum).
 double Avg(const FRep& rep, AttrId attr);
 
 /// MIN/MAX(attr); throw FdbError on the empty relation. Every reachable
@@ -38,6 +72,72 @@ Value Max(const FRep& rep, AttrId attr);
 /// COUNT(DISTINCT attr): number of distinct values of the attribute across
 /// all represented tuples.
 size_t CountDistinct(const FRep& rep, AttrId attr);
+
+/// A factorised grouped-aggregate result: the distinct groups as an
+/// f-representation over the grouping classes only, plus the collapsed
+/// statistics of everything that hung below them.
+///
+/// For a union entry with rep-wide entry index i (UnionRef::arena_offset()
+/// + entry), entry_count[i] is the number of tuples represented by the
+/// product of the subtrees removed below that entry (1 when nothing was
+/// removed), and entry_sum/min/max[j][i] hold the per-spec statistics of
+/// the removed product for the one entry whose node owns spec j's
+/// attribute. A group is one root-to-leaf assignment of `rep`; its
+/// aggregates combine the payloads of the entries on that assignment with
+/// the global multipliers — see Materialize().
+struct GroupedRep {
+  /// Where a spec's attribute ended up after restructuring.
+  enum class Where {
+    kNone,    ///< COUNT(*): no attribute
+    kGroup,   ///< attribute labels a grouping class (value = group key)
+    kBelow,   ///< attribute collapsed below frontier entry of spec_node
+    kGlobal,  ///< attribute in a root tree without grouping classes
+  };
+
+  FRep rep{FTree{}};   ///< factorised distinct groups (grouping classes only)
+  AttrSet group_attrs; ///< the GROUP BY attributes
+  std::vector<AggSpec> specs;
+
+  // Per-entry collapsed payloads, indexed by rep-wide entry index.
+  std::vector<uint64_t> entry_count;
+  std::vector<std::vector<double>> entry_sum;  ///< [spec][entry]
+  std::vector<std::vector<Value>> entry_min;   ///< [spec][entry]
+  std::vector<std::vector<Value>> entry_max;   ///< [spec][entry]
+
+  std::vector<Where> spec_where;  ///< per spec
+  std::vector<int> spec_node;     ///< grouping node id (kGroup / kBelow)
+
+  // Root trees without grouping classes, collapsed into multipliers that
+  // apply to every group: global_count is the product of their tuple
+  // counts; global_sum[j] is the sum of spec j's attribute over their
+  // product (0 unless spec j is kGlobal).
+  uint64_t global_count = 1;
+  std::vector<double> global_sum;
+  std::vector<Value> global_min;
+  std::vector<Value> global_max;
+
+  /// Number of distinct groups (tuples of `rep`).
+  uint64_t NumGroups() const;
+
+  /// Flattens to one row per group: group keys (ascending attribute order)
+  /// plus one double per spec. Throws FdbError if a per-group count
+  /// overflows uint64.
+  GroupedTable Materialize() const;
+};
+
+/// Grouped aggregation inside the factorisation (restructure-then-collapse,
+/// see the header comment). Every attribute of `group_attrs` and of the
+/// non-COUNT specs must label an alive node of the f-tree. Empty
+/// `group_attrs` computes the single global group (equal to Count/Sum/...
+/// of the whole representation); the empty relation yields zero groups.
+///
+/// `solver` (optional) ranks candidate restructuring swaps by the s(T) of
+/// the resulting tree; without it a scratch solver is used. The swaps
+/// applied are appended to `plan_out` when given.
+GroupedRep GroupByAggregate(const FRep& in, AttrSet group_attrs,
+                            std::vector<AggSpec> specs,
+                            EdgeCoverSolver* solver = nullptr,
+                            FPlan* plan_out = nullptr);
 
 }  // namespace fdb
 

@@ -4,23 +4,15 @@
 
 namespace fdb {
 
-TupleEnumerator::TupleEnumerator(const FRep& rep)
-    : rep_(&rep), current_(kMaxAttrs, 0) {
-  if (rep.empty()) {
-    done_ = true;
-    return;
-  }
-  const FTree& t = rep.tree();
-  if (t.roots().empty()) {
-    nullary_pending_ = true;  // the single tuple <>
-    return;
-  }
-  // Build pre-order frames with parent links.
+std::vector<PreOrderFrame> BuildPreOrderFrames(const FTree& t,
+                                               const std::vector<char>* keep) {
+  std::vector<PreOrderFrame> frames;
   std::vector<int> order = t.PreOrder();
   std::vector<int> frame_of(t.pool_size(), -1);
-  frames_.reserve(order.size());
+  frames.reserve(order.size());
   for (int n : order) {
-    Frame f;
+    if (keep != nullptr && !(*keep)[static_cast<size_t>(n)]) continue;
+    PreOrderFrame f;
     f.node = n;
     int p = t.node(n).parent;
     if (p == -1) {
@@ -34,8 +26,44 @@ TupleEnumerator::TupleEnumerator(const FRep& rep)
       f.slot = static_cast<size_t>(
           std::find(ch.begin(), ch.end(), n) - ch.begin());
     }
-    frame_of[static_cast<size_t>(n)] = static_cast<int>(frames_.size());
+    frame_of[static_cast<size_t>(n)] = static_cast<int>(frames.size());
+    frames.push_back(f);
+  }
+  return frames;
+}
+
+TupleEnumerator::TupleEnumerator(const FRep& rep, bool visible_only)
+    : rep_(&rep), current_(kMaxAttrs, 0) {
+  if (rep.empty()) {
+    done_ = true;
+    return;
+  }
+  const FTree& t = rep.tree();
+  // In visible_only mode, whole subtrees without a visible attribute get
+  // no frames: their assignments never change the visible tuple, so
+  // enumerating them would only repeat it (see the contract in
+  // enumerate.h).
+  std::vector<char> keep;
+  if (visible_only) {
+    keep.assign(t.pool_size(), 1);
+    std::vector<int> order = t.PreOrder();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const FTreeNode& nd = t.node(*it);
+      bool vis = !nd.visible.Empty();
+      for (int c : nd.children) vis = vis || keep[static_cast<size_t>(c)];
+      keep[static_cast<size_t>(*it)] = vis ? 1 : 0;
+    }
+  }
+  for (const PreOrderFrame& pf :
+       BuildPreOrderFrames(t, visible_only ? &keep : nullptr)) {
+    Frame f;
+    static_cast<PreOrderFrame&>(f) = pf;
     frames_.push_back(f);
+  }
+  if (frames_.empty()) {
+    // The nullary relation <>, or a non-empty rep whose attributes are all
+    // invisible: exactly one (empty) visible tuple.
+    nullary_pending_ = true;
   }
 }
 
@@ -95,7 +123,7 @@ Relation MaterializeVisible(const FRep& rep) {
   AttrSet visible = rep.tree().VisibleAttrs();
   std::vector<AttrId> schema = visible.ToVector();
   Relation out(schema);
-  TupleEnumerator en(rep);
+  TupleEnumerator en(rep, /*visible_only=*/true);
   std::vector<Value> tuple(schema.size());
   while (en.Next()) {
     for (size_t c = 0; c < schema.size(); ++c) tuple[c] = en.ValueOf(schema[c]);

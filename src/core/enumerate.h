@@ -14,11 +14,42 @@
 
 namespace fdb {
 
-/// Streams the tuples of an f-representation. Tuples carry all attributes
-/// of the f-tree (visible or not); callers project as needed.
+/// One pre-order frame of an f-tree walk: the node, the index of its
+/// parent's frame in the frame list (-1 for roots), and the child slot
+/// within the parent (for roots: the slot in the root list).
+struct PreOrderFrame {
+  int node;
+  int parent_pos;
+  size_t slot;
+};
+
+/// Frames for t.PreOrder(). When `keep` is given (indexed by node id, and
+/// closed under parents: a kept node's parent is kept), skipped nodes get
+/// no frame. Shared by TupleEnumerator and GroupedRep::Materialize.
+std::vector<PreOrderFrame> BuildPreOrderFrames(const FTree& t,
+                                               const std::vector<char>* keep =
+                                                   nullptr);
+
+/// Streams the tuples of an f-representation.
+///
+/// Contract: in the default mode each *distinct tuple over all attributes
+/// of the f-tree* (visible or not) is emitted exactly once; callers
+/// project as needed. Projecting the stream onto the visible attributes
+/// may therefore repeat visible tuples when the tree retains invisible
+/// (projected-away) nodes — consumers that count or aggregate the visible
+/// relation must deduplicate, or enumerate with `visible_only`.
+///
+/// `visible_only` skips every subtree that contains no visible attribute:
+/// odometer positions that differ only inside such subtrees collapse into
+/// one, so invisible-only nodes no longer multiply the stream. Duplicate
+/// *visible* tuples can still arise from invisible nodes that have visible
+/// descendants (two values of the invisible node may lead to equal visible
+/// sub-tuples below — a data property no structural skip can detect);
+/// MaterializeVisible removes those by sort+dedup. In this mode only
+/// visible attributes of the current tuple are meaningful.
 class TupleEnumerator {
  public:
-  explicit TupleEnumerator(const FRep& rep);
+  explicit TupleEnumerator(const FRep& rep, bool visible_only = false);
 
   /// Advances to the next tuple; false when exhausted. The first call
   /// positions the enumerator on the first tuple.
@@ -32,10 +63,7 @@ class TupleEnumerator {
   const std::vector<Value>& current() const { return current_; }
 
  private:
-  struct Frame {
-    int node;        // f-tree node id
-    int parent_pos;  // index into frames_ of the parent, -1 for roots
-    size_t slot;     // child slot within the parent node
+  struct Frame : PreOrderFrame {
     uint32_t union_id = 0;
     size_t entry = 0;
   };
@@ -56,7 +84,9 @@ class TupleEnumerator {
 
 /// Materialises the visible part of `rep` as a relation with schema =
 /// visible attributes in increasing id order; rows sorted, duplicates
-/// removed. Intended for tests and examples, not for large results.
+/// removed. Enumerates with `visible_only`, so invisible-only subtrees do
+/// not blow up the intermediate stream. Intended for tests and examples,
+/// not for large results.
 Relation MaterializeVisible(const FRep& rep);
 
 }  // namespace fdb

@@ -69,42 +69,104 @@ size_t FRep::MemoryBytes() const {
   return total;
 }
 
-double FRep::CountTuples() const {
-  if (empty_) return 0.0;
-  if (roots_.empty()) return 1.0;  // the nullary tuple <>
-  std::vector<double> memo(headers_.size(), -1.0);
-  // Iterative post-order over the DAG of unions (operators may share
-  // subtrees, e.g. push-up hoists one copy).
-  std::vector<uint32_t> stack(roots_.begin(), roots_.end());
+namespace {
+
+// Shared iterative post-order DP over the union DAG (operators may share
+// subtrees, e.g. push-up hoists one copy). `Num` is the accumulator type;
+// `mul`/`add` fold two values and return false on saturation, which aborts
+// the whole pass.
+template <typename Num, typename Mul, typename Add>
+bool CountDp(const FRep& rep, Num one, Mul mul, Add add, Num* out) {
+  std::vector<Num> memo(rep.NumUnions(), Num{});
+  std::vector<char> done(rep.NumUnions(), 0);
+  std::vector<uint32_t> stack(rep.roots().begin(), rep.roots().end());
   while (!stack.empty()) {
     uint32_t id = stack.back();
-    UnionRef un = u(id);
-    if (memo[id] >= 0.0) {
+    UnionRef un = rep.u(id);
+    if (done[id]) {
       stack.pop_back();
       continue;
     }
     bool ready = true;
     const uint32_t* kids = un.children();
     for (size_t i = 0; i < un.num_children(); ++i) {
-      if (memo[kids[i]] < 0.0) {
+      if (!done[kids[i]]) {
         if (ready) ready = false;
         stack.push_back(kids[i]);
       }
     }
     if (!ready) continue;
-    const size_t k = tree_.node(un.node()).children.size();
-    double total = 0.0;
+    const size_t k = rep.tree().node(un.node()).children.size();
+    Num total{};
     for (size_t e = 0; e < un.size(); ++e) {
-      double prod = 1.0;
-      for (size_t j = 0; j < k; ++j) prod *= memo[un.Child(e, j, k)];
-      total += prod;
+      Num prod = one;
+      for (size_t j = 0; j < k; ++j) {
+        if (!mul(prod, memo[un.Child(e, j, k)], &prod)) return false;
+      }
+      if (!add(total, prod, &total)) return false;
     }
     memo[id] = total;
+    done[id] = 1;
     stack.pop_back();
   }
-  double result = 1.0;
-  for (uint32_t r : roots_) result *= memo[r];
-  return result;
+  Num result = one;
+  for (uint32_t r : rep.roots()) {
+    if (!mul(result, memo[r], &result)) return false;
+  }
+  *out = result;
+  return true;
+}
+
+bool TryCountU64(const FRep& rep, uint64_t* out) {
+  auto mul = [](uint64_t a, uint64_t b, uint64_t* o) {
+    return !U64MulOverflow(a, b, o);
+  };
+  auto add = [](uint64_t a, uint64_t b, uint64_t* o) {
+    return !U64AddOverflow(a, b, o);
+  };
+  return CountDp<uint64_t>(rep, 1, mul, add, out);
+}
+
+}  // namespace
+
+double FRep::CountTuples(bool* exact) const {
+  if (exact != nullptr) *exact = true;
+  if (empty_) return 0.0;
+  if (roots_.empty()) return 1.0;  // the nullary tuple <>
+  uint64_t exact_count = 0;
+  if (TryCountU64(*this, &exact_count)) {
+    double d = static_cast<double>(exact_count);
+    if (exact != nullptr) {
+      // Equal to the true count iff the uint64 -> double round trip is
+      // lossless (always below 2^53, and for round values above).
+      *exact = d < 18446744073709551616.0 &&
+               static_cast<uint64_t>(d) == exact_count;
+    }
+    return d;
+  }
+  // Saturated uint64: fall back to (approximate) double accumulation.
+  if (exact != nullptr) *exact = false;
+  auto mul = [](double a, double b, double* o) {
+    *o = a * b;
+    return true;
+  };
+  auto add = [](double a, double b, double* o) {
+    *o = a + b;
+    return true;
+  };
+  double approx = 0.0;
+  CountDp<double>(*this, 1.0, mul, add, &approx);
+  return approx;
+}
+
+uint64_t FRep::CountTuplesExact() const {
+  if (empty_) return 0;
+  if (roots_.empty()) return 1;  // the nullary tuple <>
+  uint64_t count = 0;
+  FDB_CHECK_MSG(TryCountU64(*this, &count),
+                "tuple count overflows uint64 — the representation encodes "
+                "more than 2^64 tuples");
+  return count;
 }
 
 void FRep::Validate() const {

@@ -84,6 +84,12 @@ class UnionRef {
     return children()[entry * nslots + slot];
   }
 
+  /// Offset of this union's window in the value arena: entry `e` has the
+  /// rep-wide entry index arena_offset() + e. Stable once the union is
+  /// committed (windows never move), which makes it usable as a key for
+  /// per-entry side arrays (see GroupedRep in core/aggregate.h).
+  size_t arena_offset() const;
+
   uint32_t id() const { return id_; }
 
  private:
@@ -222,8 +228,15 @@ class FRep {
   size_t MemoryBytes() const;
 
   /// Number of represented tuples (over all attributes, visible or not),
-  /// by dynamic programming over the union DAG. Exact up to 2^53.
-  double CountTuples() const;
+  /// by dynamic programming over the union DAG. The DP accumulates in
+  /// uint64_t, so the count is computed exactly whenever it fits 64 bits;
+  /// past that it falls back to double accumulation. When `exact` is given
+  /// it is set to true iff the returned double equals the true count.
+  double CountTuples(bool* exact = nullptr) const;
+
+  /// Exact tuple count; throws FdbError when the count overflows uint64_t
+  /// (product-heavy representations can exceed 2^64 tuples).
+  uint64_t CountTuplesExact() const;
 
   /// Checks all representation invariants; throws FdbError on violation.
   void Validate() const;
@@ -269,6 +282,9 @@ inline uint32_t UnionRef::child(size_t i) const {
 }
 inline const uint32_t* UnionRef::children() const {
   return rep_->children_.data() + rep_->header(id_).child_off;
+}
+inline size_t UnionRef::arena_offset() const {
+  return rep_->header(id_).val_off;
 }
 
 // ---- UnionBuilder inline members ----

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/attrset.h"
+#include "common/hash.h"
 
 namespace fdb {
 
@@ -40,18 +41,7 @@ class EdgeCoverSolver {
   uint64_t hit_count() const { return hits_; }
 
  private:
-  struct VecHash {
-    size_t operator()(const std::vector<uint64_t>& v) const {
-      uint64_t h = 0xcbf29ce484222325ULL;
-      for (uint64_t x : v) {
-        h ^= x;
-        h *= 0x100000001b3ULL;
-        h ^= h >> 29;
-      }
-      return static_cast<size_t>(h);
-    }
-  };
-  std::unordered_map<std::vector<uint64_t>, double, VecHash> cache_;
+  std::unordered_map<std::vector<uint64_t>, double, VecHash64> cache_;
   uint64_t solves_ = 0;
   uint64_t hits_ = 0;
 };

@@ -1,7 +1,10 @@
 #include "rdb/rdb.h"
 
 #include <algorithm>
+#include <limits>
+#include <unordered_map>
 
+#include "common/hash.h"
 #include "rdb/join_plan.h"
 
 namespace fdb {
@@ -149,6 +152,68 @@ RdbResult RdbEvaluate(const Catalog& catalog,
   if (opts.deduplicate) current.SortLex();
   res.relation = std::move(current);
   return res;
+}
+
+GroupedTable HashGroupBy(const Relation& flat, AttrSet group_by,
+                         const std::vector<AggSpec>& specs) {
+  GroupedTable out;
+  out.group_schema = group_by.ToVector();
+  out.specs = specs;
+  const size_t nk = out.group_schema.size();
+  const size_t ns = specs.size();
+
+  std::vector<size_t> key_cols;
+  for (AttrId a : out.group_schema) key_cols.push_back(flat.ColumnOf(a));
+  std::vector<size_t> spec_cols(ns, 0);
+  for (size_t j = 0; j < ns; ++j) {
+    if (specs[j].fn != AggFn::kCount) {
+      spec_cols[j] = flat.ColumnOf(specs[j].attr);
+    }
+  }
+
+  struct Acc {
+    uint64_t count = 0;
+    std::vector<double> sum;
+    std::vector<Value> mn, mx;
+  };
+  std::unordered_map<std::vector<Value>, Acc, VecHash64> groups;
+
+  std::vector<Value> key(nk);
+  for (size_t r = 0; r < flat.size(); ++r) {
+    for (size_t c = 0; c < nk; ++c) key[c] = flat.At(r, key_cols[c]);
+    Acc& acc = groups[key];
+    if (acc.count == 0) {
+      acc.sum.assign(ns, 0.0);
+      acc.mn.assign(ns, std::numeric_limits<Value>::max());
+      acc.mx.assign(ns, std::numeric_limits<Value>::min());
+    }
+    ++acc.count;
+    for (size_t j = 0; j < ns; ++j) {
+      if (specs[j].fn == AggFn::kCount) continue;
+      Value v = flat.At(r, spec_cols[j]);
+      acc.sum[j] += static_cast<double>(v);
+      acc.mn[j] = std::min(acc.mn[j], v);
+      acc.mx[j] = std::max(acc.mx[j], v);
+    }
+  }
+
+  std::vector<double> row(ns);
+  for (const auto& [k, acc] : groups) {
+    for (size_t j = 0; j < ns; ++j) {
+      switch (specs[j].fn) {
+        case AggFn::kCount: row[j] = static_cast<double>(acc.count); break;
+        case AggFn::kSum: row[j] = acc.sum[j]; break;
+        case AggFn::kAvg:
+          row[j] = acc.sum[j] / static_cast<double>(acc.count);
+          break;
+        case AggFn::kMin: row[j] = static_cast<double>(acc.mn[j]); break;
+        case AggFn::kMax: row[j] = static_cast<double>(acc.mx[j]); break;
+      }
+    }
+    out.AddRow(k, row);
+  }
+  out.SortByKey();
+  return out;
 }
 
 }  // namespace fdb

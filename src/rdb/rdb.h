@@ -40,6 +40,15 @@ RdbResult RdbEvaluate(const Catalog& catalog,
                       const std::vector<const Relation*>& rels,
                       const Query& q, const RdbOptions& opts = {});
 
+/// Enumerate-then-hash-aggregate GROUP BY baseline: one scan over `flat`
+/// (which must already be a *set* — the deduplicated join result over all
+/// query attributes), hashing each row's group key and folding the
+/// aggregate specs. The relational yardstick for the factorised
+/// GroupByAggregate of core/aggregate.h; both produce the same
+/// GroupedTable (keys ascending after SortByKey).
+GroupedTable HashGroupBy(const Relation& flat, AttrSet group_by,
+                         const std::vector<AggSpec>& specs);
+
 }  // namespace fdb
 
 #endif  // FDB_RDB_RDB_H_

@@ -47,6 +47,8 @@ std::vector<Token> Lex(const std::string& in) {
         ++i;
         continue;
       }
+      case '(': push(TokenKind::kLParen, "(", pos); ++i; continue;
+      case ')': push(TokenKind::kRParen, ")", pos); ++i; continue;
       case ',': push(TokenKind::kComma, ",", pos); ++i; continue;
       case '.': push(TokenKind::kDot, ".", pos); ++i; continue;
       case '*': push(TokenKind::kStar, "*", pos); ++i; continue;

@@ -17,6 +17,8 @@ enum class TokenKind {
   kComma,
   kDot,
   kStar,
+  kLParen,   // (
+  kRParen,   // )
   kEq,       // =
   kNe,       // != or <>
   kLt,

@@ -24,10 +24,10 @@ class Parser {
       Advance();
       star = true;
     } else {
-      select_attrs.push_back(ParseAttrName());
+      ParseSelectItem(&select_attrs);
       while (Peek().kind == TokenKind::kComma) {
         Advance();
-        select_attrs.push_back(ParseAttrName());
+        ParseSelectItem(&select_attrs);
       }
     }
 
@@ -46,8 +46,24 @@ class Parser {
         ParseCondition();
       }
     }
+    if (IsKeyword(Peek(), "group")) {
+      Advance();
+      ExpectKeyword("by");
+      size_t at = Peek().pos;
+      q_.group_by.Add(ResolveAttr(ParseAttrName(), at));
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        at = Peek().pos;
+        q_.group_by.Add(ResolveAttr(ParseAttrName(), at));
+      }
+    }
     Expect(TokenKind::kEnd, "end of query");
 
+    if (star && q_.IsAggregate()) {
+      throw FdbError(
+          "SQL parse error: SELECT * cannot be combined with aggregates or "
+          "GROUP BY");
+    }
     if (!star) {
       for (const std::string& name : select_attrs) {
         q_.projection.Add(ResolveAttr(name, 0));
@@ -77,6 +93,45 @@ class Parser {
   void ExpectKeyword(const std::string& kw) {
     if (!IsKeyword(Peek(), kw)) Fail("'" + kw + "'", Peek());
     Advance();
+  }
+
+  // One SELECT-list item: a plain attribute (collected for the projection)
+  // or an aggregate call COUNT(*) / SUM(a) / AVG(a) / MIN(a) / MAX(a).
+  // An identifier is only treated as a function name when '(' follows, so
+  // attributes named like the functions stay usable.
+  void ParseSelectItem(std::vector<std::string>* plain_attrs) {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kIdent &&
+        tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+      std::string fn = ToLower(t.text);
+      AggSpec spec;
+      if (fn == "count") {
+        spec.fn = AggFn::kCount;
+      } else if (fn == "sum") {
+        spec.fn = AggFn::kSum;
+      } else if (fn == "avg") {
+        spec.fn = AggFn::kAvg;
+      } else if (fn == "min") {
+        spec.fn = AggFn::kMin;
+      } else if (fn == "max") {
+        spec.fn = AggFn::kMax;
+      } else {
+        throw FdbError("unknown aggregate function '" + t.text +
+                       "' at position " + std::to_string(t.pos));
+      }
+      Advance();  // function name
+      Advance();  // (
+      if (spec.fn == AggFn::kCount) {
+        Expect(TokenKind::kStar, "'*' (COUNT takes only *)");
+      } else {
+        size_t at = Peek().pos;
+        spec.attr = ResolveAttr(ParseAttrName(), at);
+      }
+      Expect(TokenKind::kRParen, "')'");
+      q_.aggregates.push_back(spec);
+      return;
+    }
+    plain_attrs->push_back(ParseAttrName());
   }
 
   void ParseRelation() {

@@ -1,15 +1,21 @@
-// A recursive-descent parser for the SPJ fragment FDB evaluates:
+// A recursive-descent parser for the (grouped-aggregate) SPJ fragment FDB
+// evaluates:
 //
-//   SELECT * | attr [, attr]*
+//   SELECT * | item [, item]*
 //   FROM rel [, rel]*
 //   [WHERE cond [AND cond]*]
+//   [GROUP BY attr [, attr]*]
 //
-// where cond is `attr = attr` (equality join) or `attr theta const` with
-// theta in {=, !=, <>, <, <=, >, >=} and const an integer or 'string'
-// literal (interned into the database dictionary). Attributes may be
-// written bare (attribute names are global, following the paper's model) or
-// qualified as rel.attr, in which case membership is checked. Keywords are
-// case-insensitive.
+// where item is an attribute or an aggregate call COUNT(*), SUM(a),
+// AVG(a), MIN(a) or MAX(a), and cond is `attr = attr` (equality join) or
+// `attr theta const` with theta in {=, !=, <>, <, <=, >, >=} and const an
+// integer or 'string' literal (interned into the database dictionary).
+// Attributes may be written bare (attribute names are global, following
+// the paper's model) or qualified as rel.attr, in which case membership is
+// checked. Keywords are case-insensitive. Queries with aggregates or
+// GROUP BY must not use SELECT *; plain selected attributes must be
+// grouped on (checked by AnalyzeQuery) and the result carries all GROUP BY
+// attributes.
 #ifndef FDB_SQL_PARSER_H_
 #define FDB_SQL_PARSER_H_
 

@@ -28,6 +28,47 @@ bool EvalCmp(Value lhs, CmpOp op, Value rhs) {
   return false;
 }
 
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kAvg: return "AVG";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+void GroupedTable::AddRow(std::span<const Value> key,
+                          std::span<const double> agg) {
+  FDB_CHECK(key.size() == group_schema.size() && agg.size() == specs.size());
+  keys.insert(keys.end(), key.begin(), key.end());
+  aggs.insert(aggs.end(), agg.begin(), agg.end());
+  ++num_rows;
+}
+
+void GroupedTable::SortByKey() {
+  const size_t kk = group_schema.size(), ka = specs.size();
+  std::vector<size_t> idx(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    for (size_t c = 0; c < kk; ++c) {
+      if (keys[a * kk + c] != keys[b * kk + c]) {
+        return keys[a * kk + c] < keys[b * kk + c];
+      }
+    }
+    return false;
+  });
+  std::vector<Value> nk(keys.size());
+  std::vector<double> na(aggs.size());
+  for (size_t i = 0; i < num_rows; ++i) {
+    for (size_t c = 0; c < kk; ++c) nk[i * kk + c] = keys[idx[i] * kk + c];
+    for (size_t c = 0; c < ka; ++c) na[i * ka + c] = aggs[idx[i] * ka + c];
+  }
+  keys = std::move(nk);
+  aggs = std::move(na);
+}
+
 AttrSet QueryInfo::ClassOf(AttrId attr) const {
   for (const AttrSet& cls : classes) {
     if (cls.Contains(attr)) return cls;
@@ -102,6 +143,28 @@ QueryInfo AnalyzeQuery(const Catalog& catalog, const Query& q) {
   }
   FDB_CHECK_MSG(info.all_attrs.ContainsAll(q.projection),
                 "projection attribute not in the query");
+
+  FDB_CHECK_MSG(info.all_attrs.ContainsAll(q.group_by),
+                "GROUP BY attribute not in the query");
+  for (const AggSpec& s : q.aggregates) {
+    if (s.fn == AggFn::kCount) continue;
+    FDB_CHECK_MSG(info.all_attrs.Contains(s.attr),
+                  std::string(AggFnName(s.fn)) +
+                      " over attribute not in the query");
+    // String values are dictionary codes in first-seen order; summing or
+    // ordering them would silently aggregate the codes, not the strings.
+    FDB_CHECK_MSG(!catalog.attr(s.attr).is_string,
+                  std::string(AggFnName(s.fn)) +
+                      " over string attribute " + catalog.attr(s.attr).name +
+                      " (dictionary codes have no aggregate semantics)");
+  }
+  if (q.IsAggregate()) {
+    // SQL rule: plain SELECT-list attributes must be grouped on.
+    FDB_CHECK_MSG(q.group_by.ContainsAll(q.projection),
+                  "non-aggregated SELECT attribute not in GROUP BY");
+  }
+  info.group_by = q.group_by;
+  info.aggregates = q.aggregates;
 
   info.classes = EqualityClasses(info.all_attrs, q.equalities);
   info.projection = q.projection.Empty() ? info.all_attrs : q.projection;

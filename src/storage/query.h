@@ -1,10 +1,16 @@
-// Select-project-join queries and their static analysis.
+// Select-project-join queries (optionally grouped-aggregate) and their
+// static analysis.
 //
 // Q = pi_P sigma_phi (R1 x ... x Rn) where phi is a conjunction of
 // attribute-attribute equalities and attribute-constant comparisons (§2).
+// A query may additionally carry GROUP BY attributes and aggregate
+// functions over the join result (the PVLDB'13 follow-up "Aggregation and
+// Ordering in Factorised Databases"); see core/aggregate.h for the
+// factorised evaluation.
 #ifndef FDB_STORAGE_QUERY_H_
 #define FDB_STORAGE_QUERY_H_
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +34,48 @@ struct ConstPred {
   Value value;
 };
 
+/// Aggregate functions evaluable inside the factorisation.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// One aggregate call of the SELECT list. Aggregates range over the
+/// *distinct tuples* of the join result taken over all query attributes
+/// (relations are sets), matching core/aggregate.h.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  AttrId attr = 0;  ///< aggregated attribute; ignored for kCount
+
+  bool operator==(const AggSpec& o) const = default;
+};
+
+/// Flat grouped-aggregate result: one row per group, keyed by the group-by
+/// attributes (ascending id order) with one double column per aggregate
+/// spec (COUNT/MIN/MAX are integral but widen to double uniformly; values
+/// past 2^53 lose precision only in this flat view — the factorised result
+/// keeps counts in uint64_t).
+struct GroupedTable {
+  std::vector<AttrId> group_schema;  ///< ascending attribute ids
+  std::vector<AggSpec> specs;
+  size_t num_rows = 0;
+  std::vector<Value> keys;   ///< num_rows x group_schema.size(), row-major
+  std::vector<double> aggs;  ///< num_rows x specs.size(), row-major
+
+  void AddRow(std::span<const Value> key, std::span<const double> agg);
+  Value KeyAt(size_t row, size_t col) const {
+    return keys[row * group_schema.size() + col];
+  }
+  double AggAt(size_t row, size_t col) const {
+    return aggs[row * specs.size() + col];
+  }
+
+  /// Sorts rows lexicographically by key (keys are unique per group), so
+  /// tables from different evaluation strategies compare positionally.
+  void SortByKey();
+
+  bool operator==(const GroupedTable& o) const = default;
+};
+
 /// An SPJ query over catalog relations.
 struct Query {
   /// Catalog relation ids; the position in this vector is the query-local
@@ -40,8 +88,34 @@ struct Query {
   /// Constant comparisons.
   std::vector<ConstPred> const_preds;
 
-  /// Attributes to keep; an empty set means "project nothing away".
+  /// Attributes to keep; an empty set means "project nothing away". For
+  /// aggregate queries this holds the plain SELECT-list attributes, which
+  /// must be a subset of `group_by`.
   AttrSet projection;
+
+  /// GROUP BY attributes (empty = one global group when aggregates are
+  /// present).
+  AttrSet group_by;
+
+  /// Aggregate calls of the SELECT list, in SELECT order.
+  std::vector<AggSpec> aggregates;
+
+  /// True when the query is a grouped-aggregate query (evaluated by
+  /// Engine::ExecuteAggregate rather than the plain SPJ path). GROUP BY
+  /// without aggregates is the DISTINCT-groups query.
+  bool IsAggregate() const { return !aggregates.empty() || !group_by.Empty(); }
+
+  /// The SPJ core an aggregate query ranges over: the same relations and
+  /// conditions with projection, grouping and aggregates stripped (the
+  /// join result carries all attributes). Used by the engine and the
+  /// baselines so both sides aggregate the identical relation.
+  Query SpjCore() const {
+    Query q = *this;
+    q.projection = {};
+    q.group_by = {};
+    q.aggregates.clear();
+    return q;
+  }
 };
 
 /// Static analysis of a query against a catalog: relation attribute sets,
@@ -54,6 +128,8 @@ struct QueryInfo {
   std::vector<int> attr_rel;         ///< attr -> query-local rel, -1 if none
   std::vector<AttrSet> classes;      ///< attribute equivalence classes
   AttrSet projection;                ///< resolved projection (all attrs if empty)
+  AttrSet group_by;                  ///< validated GROUP BY attributes
+  std::vector<AggSpec> aggregates;   ///< validated aggregate calls
 
   /// The class containing `attr` (singleton class if the attribute is not
   /// mentioned in any equality).

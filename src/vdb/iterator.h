@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "storage/query.h"
 #include "storage/relation.h"
 
@@ -84,24 +85,13 @@ class HashJoinIterator final : public Iterator {
   const std::vector<AttrId>& schema() const override { return schema_; }
 
  private:
-  struct KeyHash {
-    size_t operator()(const std::vector<Value>& k) const {
-      size_t h = 0xcbf29ce484222325ULL;
-      for (Value v : k) {
-        h ^= static_cast<size_t>(v);
-        h *= 0x100000001b3ULL;
-      }
-      return h;
-    }
-  };
-
   IteratorPtr left_, right_;
   std::vector<std::pair<size_t, size_t>> key_cols_;  // (left col, right col)
   std::vector<AttrId> schema_;
-  std::unordered_multimap<std::vector<Value>, Tuple, KeyHash> build_;
+  std::unordered_multimap<std::vector<Value>, Tuple, VecHash64> build_;
   Tuple probe_;
   bool have_probe_ = false;
-  std::unordered_multimap<std::vector<Value>, Tuple, KeyHash>::iterator
+  std::unordered_multimap<std::vector<Value>, Tuple, VecHash64>::iterator
       match_, match_end_;
 };
 

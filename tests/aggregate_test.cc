@@ -84,6 +84,64 @@ TEST(Aggregate, EmptyRelation) {
   EXPECT_THROW(Avg(rep, 0), FdbError);
 }
 
+TEST(Aggregate, NullaryRelation) {
+  // The nullary relation <> (non-empty rep over the empty forest): COUNT
+  // is 1; attribute aggregates throw because no attribute labels a node.
+  FRep rep{FTree{}};
+  rep.MarkNonEmpty();
+  EXPECT_EQ(Count(rep), 1.0);
+  EXPECT_EQ(rep.CountTuplesExact(), 1u);
+  EXPECT_THROW(Sum(rep, 0), FdbError);
+  EXPECT_THROW(Avg(rep, 0), FdbError);
+  EXPECT_THROW(Min(rep, 0), FdbError);
+  EXPECT_THROW(Max(rep, 0), FdbError);
+  EXPECT_THROW(CountDistinct(rep, 0), FdbError);
+}
+
+// Product of `n` single-attribute relations with `vals` distinct values
+// each: an adversarial rep with vals^n tuples in O(n * vals) space.
+FRep BigProduct(int n, Value vals) {
+  Relation r({0});
+  for (Value v = 1; v <= vals; ++v) r.AddTuple({v});
+  FRep rep = GroundRelation(r, 0);
+  for (AttrId a = 1; a < static_cast<AttrId>(n); ++a) {
+    Relation s({a});
+    for (Value v = 1; v <= vals; ++v) s.AddTuple({v});
+    rep = Product(rep, GroundRelation(s, static_cast<int>(a)));
+  }
+  return rep;
+}
+
+TEST(Aggregate, CountStaysExactPastDoublePrecision) {
+  // 40^10 = 10485760000000000 > 2^53: the uint64 DP keeps it exact where
+  // double accumulation could round.
+  FRep rep = BigProduct(10, 40);
+  EXPECT_EQ(rep.CountTuplesExact(), 10485760000000000ull);
+  bool exact = false;
+  EXPECT_EQ(rep.CountTuples(&exact), 1.048576e16);
+  EXPECT_TRUE(exact);  // this count round-trips through double
+  // SUM(attr0) = (1+...+40) * 40^9 — still a doubles-exact product here.
+  EXPECT_EQ(Sum(rep, 0), 820.0 * 262144000000000.0);
+}
+
+TEST(Aggregate, CountSaturationIsDetected) {
+  // 300^8 = 6.561e19 > 2^64: the count saturates uint64. CountTuples
+  // flags the approximation, CountTuplesExact and the weighted SUM/AVG
+  // DP throw instead of returning subtly wrong values.
+  FRep rep = BigProduct(8, 300);
+  bool exact = true;
+  double approx = rep.CountTuples(&exact);
+  EXPECT_FALSE(exact);
+  EXPECT_NEAR(approx, 6.561e19, 1e6);
+  EXPECT_THROW(rep.CountTuplesExact(), FdbError);
+  EXPECT_THROW(Sum(rep, 0), FdbError);
+  EXPECT_THROW(Avg(rep, 0), FdbError);
+  // MIN/MAX/COUNT DISTINCT need no counting and keep working.
+  EXPECT_EQ(Min(rep, 0), 1);
+  EXPECT_EQ(Max(rep, 0), 300);
+  EXPECT_EQ(CountDistinct(rep, 0), 300u);
+}
+
 TEST(Aggregate, UnknownAttributeThrows) {
   Relation r = MakeRel({0}, {{1}});
   FRep rep = GroundRelation(r, 0);

@@ -86,6 +86,77 @@ TEST(FRep, NullaryRelation) {
   EXPECT_FALSE(en.Next());
 }
 
+// A deferred-projection f-tree: the node of `invisible` stays in the tree
+// but contributes nothing to the output schema.
+FTree DeferredProjectionTree(AttrId visible, AttrId invisible, bool inv_root) {
+  FTree t;
+  int v = t.NewNode(AttrSet::Of({visible}), AttrSet::Of({visible}),
+                    RelSet::Of({0}), RelSet::Of({0}));
+  int i = t.NewNode(AttrSet::Of({invisible}), {}, RelSet::Of({0}),
+                    RelSet::Of({0}));
+  if (inv_root) {
+    t.AttachRoot(i);
+    t.AttachChild(i, v);
+  } else {
+    t.AttachRoot(v);
+    t.AttachChild(v, i);
+  }
+  return t;
+}
+
+TEST(FRep, VisibleOnlyEnumerationSkipsInvisibleSubtrees) {
+  // A (visible) -> B (invisible): full enumeration yields all 3 tuples,
+  // so projecting to A repeats the value 1; visible-only enumeration
+  // collapses positions that differ only below the invisible leaf.
+  Relation r = MakeRel({0, 1}, {{1, 10}, {1, 20}, {2, 30}});
+  FRep rep = GroundQuery(DeferredProjectionTree(0, 1, false), {&r});
+  rep.Validate();
+
+  TupleEnumerator full(rep);
+  size_t full_count = 0;
+  while (full.Next()) ++full_count;
+  EXPECT_EQ(full_count, 3u);  // distinct tuples over all attributes
+
+  TupleEnumerator vis(rep, /*visible_only=*/true);
+  std::vector<Value> got;
+  while (vis.Next()) got.push_back(vis.ValueOf(0));
+  EXPECT_EQ(got, (std::vector<Value>{1, 2}));  // no duplicate visible tuple
+
+  Relation m = MaterializeVisible(rep);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FRep, VisibleOnlyEnumerationKeepsVisibleDescendants) {
+  // A (invisible) -> B (visible): the invisible node has a visible
+  // descendant, so its frames must stay in the odometer; duplicates that
+  // are a property of the data (both A-values lead to B=10) remain and
+  // MaterializeVisible removes them by sort+dedup.
+  Relation r = MakeRel({0, 1}, {{1, 10}, {2, 10}, {2, 20}});
+  FRep rep = GroundQuery(DeferredProjectionTree(1, 0, true), {&r});
+  rep.Validate();
+
+  TupleEnumerator vis(rep, /*visible_only=*/true);
+  std::vector<Value> got;
+  while (vis.Next()) got.push_back(vis.ValueOf(1));
+  EXPECT_EQ(got.size(), 3u);  // data duplicate B=10 still streams twice
+
+  Relation m = MaterializeVisible(rep);
+  EXPECT_EQ(m.size(), 2u);  // {10, 20}
+}
+
+TEST(FRep, VisibleOnlyEnumerationOfFullyInvisibleRep) {
+  // Everything projected away (deferred): exactly one empty visible tuple.
+  Relation r = MakeRel({0, 1}, {{1, 10}, {2, 20}});
+  FTree t = DeferredProjectionTree(0, 1, false);
+  t.node(t.FindAttr(0)).visible = {};
+  FRep rep = GroundQuery(t, {&r});
+
+  TupleEnumerator vis(rep, /*visible_only=*/true);
+  EXPECT_TRUE(vis.Next());
+  EXPECT_FALSE(vis.Next());
+  EXPECT_EQ(MaterializeVisible(rep).size(), 1u);
+}
+
 TEST(FRep, ValidateRejectsUnsortedUnion) {
   FTree t = PathFTree({0}, 0);
   FRep rep{t};

@@ -105,5 +105,66 @@ TEST_F(ParserTest, NonEqualityJoinRejected) {
                FdbError);
 }
 
+TEST(Lexer, Parentheses) {
+  auto toks = Lex("COUNT(*)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokenKind::kLParen);
+  EXPECT_EQ(toks[2].kind, TokenKind::kStar);
+  EXPECT_EQ(toks[3].kind, TokenKind::kRParen);
+}
+
+TEST_F(ParserTest, GroupByWithAggregates) {
+  Query q = Parse(
+      "SELECT dispatcher, COUNT(*), SUM(oid), AVG(oid), MIN(oid), MAX(oid) "
+      "FROM Orders, Store, Disp "
+      "WHERE o_item = s_item AND s_location = d_location "
+      "GROUP BY dispatcher");
+  EXPECT_TRUE(q.IsAggregate());
+  EXPECT_EQ(q.group_by, AttrSet::Of({db_->Attr("dispatcher")}));
+  EXPECT_EQ(q.projection, AttrSet::Of({db_->Attr("dispatcher")}));
+  ASSERT_EQ(q.aggregates.size(), 5u);
+  EXPECT_EQ(q.aggregates[0].fn, AggFn::kCount);
+  EXPECT_EQ(q.aggregates[1].fn, AggFn::kSum);
+  EXPECT_EQ(q.aggregates[1].attr, db_->Attr("oid"));
+  EXPECT_EQ(q.aggregates[2].fn, AggFn::kAvg);
+  EXPECT_EQ(q.aggregates[3].fn, AggFn::kMin);
+  EXPECT_EQ(q.aggregates[4].fn, AggFn::kMax);
+}
+
+TEST_F(ParserTest, GroupByMultipleAttrs) {
+  Query q = Parse(
+      "SELECT COUNT(*) FROM Orders, Store WHERE o_item = s_item "
+      "GROUP BY oid, s_location");
+  EXPECT_EQ(q.group_by,
+            AttrSet::Of({db_->Attr("oid"), db_->Attr("s_location")}));
+  EXPECT_TRUE(q.projection.Empty());
+}
+
+TEST_F(ParserTest, AggregateWithoutGroupBy) {
+  Query q = Parse("SELECT COUNT(*), SUM(oid) FROM Orders");
+  EXPECT_TRUE(q.IsAggregate());
+  EXPECT_TRUE(q.group_by.Empty());
+  ASSERT_EQ(q.aggregates.size(), 2u);
+}
+
+TEST_F(ParserTest, AttributeNamedLikeFunctionStillParses) {
+  // Only `ident(` is treated as a call; a bare attribute is untouched.
+  Query q = Parse("SELECT oid FROM Orders GROUP BY oid");
+  EXPECT_TRUE(q.aggregates.empty());
+  EXPECT_TRUE(q.IsAggregate());  // GROUP BY alone = distinct groups
+}
+
+TEST_F(ParserTest, AggregateErrors) {
+  EXPECT_THROW(Parse("SELECT * FROM Orders GROUP BY oid"), FdbError);
+  EXPECT_THROW(Parse("SELECT COUNT(*), * FROM Orders"), FdbError);
+  EXPECT_THROW(Parse("SELECT COUNT(oid) FROM Orders"), FdbError);
+  EXPECT_THROW(Parse("SELECT SUM(*) FROM Orders"), FdbError);
+  EXPECT_THROW(Parse("SELECT MEDIAN(oid) FROM Orders"), FdbError);
+  EXPECT_THROW(Parse("SELECT SUM(oid FROM Orders"), FdbError);
+  EXPECT_THROW(Parse("SELECT COUNT(*) FROM Orders GROUP oid"), FdbError);
+  EXPECT_THROW(Parse("SELECT SUM(bogus) FROM Orders"), FdbError);
+}
+
 }  // namespace
 }  // namespace fdb
