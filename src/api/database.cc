@@ -24,6 +24,7 @@ RelId Database::CreateRelation(const std::string& name,
   }
   RelId id = catalog_.AddRelation(name, attrs);
   relations_.emplace_back(attrs);
+  ++version_;
   return id;
 }
 
@@ -44,11 +45,13 @@ void Database::Insert(RelId rel, const std::vector<Cell>& row) {
     }
   }
   r.AddTuple(tuple);
+  ++version_;
 }
 
 RelId Database::LoadCsv(const std::string& path, const std::string& rel_name,
                         char sep) {
   relations_.push_back(ReadCsvFile(path, rel_name, sep, &catalog_, &dict_));
+  ++version_;
   return static_cast<RelId>(relations_.size()) - 1;
 }
 

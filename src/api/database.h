@@ -52,10 +52,20 @@ class Database {
   /// Resolves an attribute name; throws on unknown names.
   AttrId Attr(const std::string& name) const;
 
+  /// Monotonically increasing version, bumped by every schema or data
+  /// change made through the Database API (CreateRelation, Insert,
+  /// LoadCsv). The serve-path plan cache keys cached f-plans on this
+  /// version, so stale plans are invalidated when the database changes
+  /// between serving sessions. Mutating a relation directly via the
+  /// non-const relation() accessor bypasses the counter — long-lived
+  /// servers must treat the database as frozen (see serve/query_server.h).
+  uint64_t version() const { return version_; }
+
  private:
   Catalog catalog_;
   Dictionary dict_;
   std::vector<Relation> relations_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace fdb

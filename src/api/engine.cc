@@ -10,11 +10,12 @@ FTreeSearchResult Engine::OptimizeFlat(const Query& q) {
   return FindOptimalFTree(info, solver_);
 }
 
-FdbResult Engine::EvaluateFlat(const Query& q) {
+FdbResult Engine::EvaluateFlat(const Query& q,
+                               const FTreeSearchResult* pretree) {
   QueryInfo info = AnalyzeQuery(db_->catalog(), q);
 
   Timer opt_timer;
-  FTreeSearchResult t = FindOptimalFTree(info, solver_);
+  FTreeSearchResult t = pretree ? *pretree : FindOptimalFTree(info, solver_);
   FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}};
   res.optimize_seconds = opt_timer.Seconds();
 
@@ -78,12 +79,13 @@ FdbResult Engine::JoinFactorised(
   return EvaluateOnFRep(prod, eqs);
 }
 
-AggregateResult Engine::ExecuteAggregate(const Query& q) {
+AggregateResult Engine::ExecuteAggregate(const Query& q,
+                                         const FTreeSearchResult* pretree) {
   AnalyzeQuery(db_->catalog(), q);  // validates group_by/aggregates early
 
   // Aggregates range over the distinct tuples of the join result taken
   // over all attributes, so the SPJ part runs without projection.
-  FdbResult base = EvaluateFlat(q.SpjCore());
+  FdbResult base = EvaluateFlat(q.SpjCore(), pretree);
 
   AggregateResult res;
   res.plan = std::move(base.plan);

@@ -58,16 +58,35 @@ struct AggregateResult {
   double evaluate_seconds = 0.0;
 };
 
-/// The query engine; borrows the database (which must outlive it; mutable
-/// because SQL string literals are interned into its dictionary).
+/// The query engine; borrows the database (which must outlive it).
+///
+/// Concurrency contract (the serve path, serve/query_server.h, depends on
+/// this): once the database is fully loaded, read-only evaluation —
+/// Parse, Execute, EvaluateFlat, ExecuteAggregate, OptimizeFlat and the
+/// baselines — may run concurrently from any number of threads on one
+/// shared Engine. The only two pieces of shared mutable state are
+/// internally synchronised:
+///  * the database dictionary: Engine::Parse interns SQL string literals
+///    into it, which is an append-only, lock-protected operation
+///    (common/dictionary.h) — existing codes never change, so concurrently
+///    running evaluations are unaffected;
+///  * the shared EdgeCoverSolver memo (lp/edge_cover.h).
+/// Everything else reads `const` catalog/relation state; grounding copies
+/// and sorts relations internally. What is NOT allowed concurrently with
+/// queries: schema or data changes (CreateRelation / Insert / LoadCsv) and
+/// direct mutation through Database::relation() — a serving database is
+/// frozen.
 class Engine {
  public:
   explicit Engine(Database* db, EngineOptions opts = {})
       : db_(db), opts_(opts) {}
 
   /// Flat evaluation: optimal f-tree search + grounding (+ deferred
-  /// projection).
-  FdbResult EvaluateFlat(const Query& q);
+  /// projection). When `pretree` is given (a result of OptimizeFlat for
+  /// the same query, e.g. from the serve-path plan cache), the search is
+  /// skipped and the cached tree is executed directly.
+  FdbResult EvaluateFlat(const Query& q,
+                         const FTreeSearchResult* pretree = nullptr);
 
   /// Optimal f-tree for a query without evaluating it (Experiment 1).
   FTreeSearchResult OptimizeFlat(const Query& q);
@@ -103,11 +122,20 @@ class Engine {
   /// the global group, diverging from SQL's single COUNT = 0 row (FDB has
   /// no NULLs for the SUM/MIN/MAX columns of such a row; the HashGroupBy
   /// baseline makes the same choice).
-  AggregateResult ExecuteAggregate(const Query& q);
+  /// `pretree` (optional) is a cached optimal f-tree for the query's SPJ
+  /// core; the f-tree search ignores projection, grouping and aggregates,
+  /// so OptimizeFlat(q) yields a tree valid for both the plain and the
+  /// aggregate path of the same query.
+  AggregateResult ExecuteAggregate(const Query& q,
+                                   const FTreeSearchResult* pretree = nullptr);
   AggregateResult ExecuteAggregate(const std::string& sql_text);
 
-  /// Parses an SPJ / grouped-aggregate SQL string against the database
-  /// (string literals are interned into the dictionary).
+  /// Parses an SPJ / grouped-aggregate SQL string against the database.
+  /// String literals are interned into the dictionary — a synchronised,
+  /// append-only operation, so Parse is safe to call concurrently with
+  /// other Parse/Execute calls; the catalog and relation data are never
+  /// touched. A literal absent from the data gets a fresh code that
+  /// matches no stored value (the predicate simply selects nothing).
   Query Parse(const std::string& sql_text);
 
   /// Parses and evaluates an SQL string. SPJ queries run the flat path;

@@ -6,37 +6,88 @@
 #ifndef FDB_COMMON_DICTIONARY_H_
 #define FDB_COMMON_DICTIONARY_H_
 
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "common/types.h"
 
 namespace fdb {
 
 /// Bidirectional string <-> code map. Codes are assigned densely from 0 in
-/// first-seen order. Not thread-safe (FDB is a single-threaded engine, like
-/// the paper's prototype).
+/// first-seen order.
+///
+/// Thread safety: all operations may be called concurrently. Intern takes an
+/// exclusive lock; Lookup/Decode/Contains/size take a shared lock, so the
+/// read path scales across serving threads (serve/query_server.h relies on
+/// this: SQL parsing interns string literals while other workers decode
+/// result values). Strings are stored in a deque, so the reference returned
+/// by Decode stays valid across concurrent Intern calls — codes are never
+/// removed or remapped.
 class Dictionary {
  public:
+  Dictionary() = default;
+
+  // Copy/move transfer the mappings but not the mutex (a mutex is tied to
+  // its object). They lock the source, but the destination must not be in
+  // concurrent use — move a database before serving starts, not during.
+  Dictionary(const Dictionary& o) {
+    std::shared_lock lock(o.mu_);
+    codes_ = o.codes_;
+    strings_ = o.strings_;
+  }
+  Dictionary(Dictionary&& o) {  // not noexcept: locking the source may throw
+    std::unique_lock lock(o.mu_);
+    codes_ = std::move(o.codes_);
+    strings_ = std::move(o.strings_);
+  }
+  Dictionary& operator=(const Dictionary& o) {
+    if (this != &o) {
+      std::shared_lock lock(o.mu_);
+      codes_ = o.codes_;
+      strings_ = o.strings_;
+    }
+    return *this;
+  }
+  Dictionary& operator=(Dictionary&& o) {
+    if (this != &o) {
+      std::unique_lock lock(o.mu_);
+      codes_ = std::move(o.codes_);
+      strings_ = std::move(o.strings_);
+    }
+    return *this;
+  }
+
   /// Returns the code for `s`, inserting it if new.
   Value Intern(const std::string& s);
 
   /// Returns the code for `s` or -1 if absent.
   Value Lookup(const std::string& s) const;
 
-  /// Returns the string for a code; throws FdbError if out of range.
+  /// Returns the string for a code; throws FdbError if out of range. The
+  /// reference remains valid for the lifetime of the dictionary.
   const std::string& Decode(Value code) const;
 
   bool Contains(Value code) const {
+    std::shared_lock lock(mu_);
+    return ContainsLocked(code);
+  }
+
+  size_t size() const {
+    std::shared_lock lock(mu_);
+    return strings_.size();
+  }
+
+ private:
+  bool ContainsLocked(Value code) const {
     return code >= 0 && static_cast<size_t>(code) < strings_.size();
   }
 
-  size_t size() const { return strings_.size(); }
-
- private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, Value> codes_;
-  std::vector<std::string> strings_;
+  std::deque<std::string> strings_;  // deque: Decode refs survive growth
 };
 
 }  // namespace fdb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 
 #include "common/types.h"
 #include "lp/simplex.h"
@@ -61,13 +62,20 @@ double EdgeCoverSolver::Solve(std::vector<uint64_t> class_covers) {
     if (!dominated) kept.push_back(mi);
   }
 
-  auto it = cache_.find(kept);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+  {
+    std::shared_lock lock(mu_);
+    auto it = cache_.find(kept);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  ++solves_;
+  // Miss: solve outside any lock (the LP is the expensive part), then
+  // insert. A racing thread may have inserted meanwhile; emplace keeps the
+  // first value (both are the same optimum).
+  solves_.fetch_add(1, std::memory_order_relaxed);
   double v = FractionalEdgeCoverValue(kept);
+  std::unique_lock lock(mu_);
   cache_.emplace(std::move(kept), v);
   return v;
 }

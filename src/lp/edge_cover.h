@@ -15,7 +15,9 @@
 #ifndef FDB_LP_EDGE_COVER_H_
 #define FDB_LP_EDGE_COVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -32,18 +34,30 @@ namespace fdb {
 double FractionalEdgeCoverValue(const std::vector<uint64_t>& class_covers);
 
 /// Memoising wrapper around FractionalEdgeCoverValue.
+///
+/// Thread safety: Solve may be called concurrently (the serve path shares
+/// one solver across all worker threads). Cache lookups take a shared lock;
+/// only a memo miss upgrades to an exclusive lock around the insert. Two
+/// threads racing on the same uncached instance may both run the LP — the
+/// result is identical and only one insert wins, so `solve_count` may
+/// exceed the number of distinct instances but never miscounts calls:
+/// solve_count + hit_count == number of Solve calls, always.
 class EdgeCoverSolver {
  public:
   double Solve(std::vector<uint64_t> class_covers);
 
-  size_t cache_size() const { return cache_.size(); }
-  uint64_t solve_count() const { return solves_; }
-  uint64_t hit_count() const { return hits_; }
+  size_t cache_size() const {
+    std::shared_lock lock(mu_);
+    return cache_.size();
+  }
+  uint64_t solve_count() const { return solves_.load(std::memory_order_relaxed); }
+  uint64_t hit_count() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::vector<uint64_t>, double, VecHash64> cache_;
-  uint64_t solves_ = 0;
-  uint64_t hits_ = 0;
+  std::atomic<uint64_t> solves_{0};
+  std::atomic<uint64_t> hits_{0};
 };
 
 }  // namespace fdb

@@ -1,0 +1,67 @@
+#include "serve/plan_cache.h"
+
+#include "common/types.h"
+
+namespace fdb {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  FDB_CHECK_MSG(capacity > 0, "plan cache capacity must be positive");
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const std::string& signature, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(signature);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->version != version) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++invalidations_;
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  ++hits_;
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& signature, uint64_t version,
+                       std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(signature);
+  if (it != index_.end()) {
+    it->second->version = version;
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().signature);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{signature, version, std::move(plan)});
+  index_.emplace(signature, lru_.begin());
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace fdb

@@ -1,0 +1,130 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/str.h"
+#include "core/print.h"
+#include "sql/lexer.h"
+
+namespace fdb {
+
+namespace {
+
+// Keywords and aggregate-function names of the SQL dialect (sql/parser.cc
+// matches them case-insensitively).
+bool IsKeywordShaped(const std::string& lower) {
+  static const char* const kKeywords[] = {"select", "from", "where", "and",
+                                          "group",  "by",   "count", "sum",
+                                          "avg",    "min",  "max"};
+  return std::find(std::begin(kKeywords), std::end(kKeywords), lower) !=
+         std::end(kKeywords);
+}
+
+}  // namespace
+
+std::string NormalizeSql(const std::string& sql, const Catalog& catalog) {
+  std::vector<sql::Token> tokens = sql::Lex(sql);
+  std::string out;
+  for (const sql::Token& t : tokens) {
+    if (t.kind == sql::TokenKind::kEnd) break;
+    if (!out.empty()) out += ' ';
+    switch (t.kind) {
+      case sql::TokenKind::kIdent: {
+        std::string lower = ToLower(t.text);
+        // Identifier case is significant only for catalog names; keyword-
+        // shaped identifiers that do not exactly name an attribute or
+        // relation fold to lower case so `SELECT` and `select` coincide.
+        if (IsKeywordShaped(lower) && catalog.FindAttribute(t.text) < 0 &&
+            catalog.FindRelation(t.text) < 0) {
+          out += lower;
+        } else {
+          out += t.text;
+        }
+        break;
+      }
+      case sql::TokenKind::kInt:
+        out += std::to_string(t.value);
+        break;
+      case sql::TokenKind::kString:
+        out += '\'';
+        out += t.text;  // the lexer admits no quote inside a literal
+        out += '\'';
+        break;
+      case sql::TokenKind::kNe:
+        out += "!=";  // <> and != lex to the same token
+        break;
+      default:
+        out += t.text;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderResult(const Database& db, const FdbResult& res) {
+  std::ostringstream os;
+  if (res.aggregate.has_value()) {
+    const GroupedTable& tbl = *res.aggregate;
+    for (size_t c = 0; c < tbl.group_schema.size(); ++c) {
+      if (c) os << "  ";
+      os << db.catalog().attr(tbl.group_schema[c]).name;
+    }
+    for (size_t c = 0; c < tbl.specs.size(); ++c) {
+      if (c || !tbl.group_schema.empty()) os << "  ";
+      const AggSpec& s = tbl.specs[c];
+      os << AggFnName(s.fn) << "("
+         << (s.fn == AggFn::kCount ? "*" : db.catalog().attr(s.attr).name)
+         << ")";
+    }
+    os << "\n";
+    for (size_t r = 0; r < tbl.num_rows; ++r) {
+      for (size_t c = 0; c < tbl.group_schema.size(); ++c) {
+        if (c) os << "  ";
+        Value v = tbl.KeyAt(r, c);
+        if (db.catalog().attr(tbl.group_schema[c]).is_string &&
+            db.dict().Contains(v)) {
+          os << db.dict().Decode(v);
+        } else {
+          os << v;
+        }
+      }
+      for (size_t c = 0; c < tbl.specs.size(); ++c) {
+        if (c || !tbl.group_schema.empty()) os << "  ";
+        os << tbl.AggAt(r, c);
+      }
+      os << "\n";
+    }
+    os << "-- " << tbl.num_rows << " groups\n";
+  } else {
+    PrintOptions popts;
+    popts.unicode = false;  // ASCII wire format
+    popts.catalog = &db.catalog();
+    popts.dict = &db.dict();
+    os << ToExpressionString(res.rep, popts) << "\n"
+       << "-- " << res.NumSingletons() << " singletons, " << res.FlatTuples()
+       << " tuples\n";
+  }
+  return os.str();
+}
+
+std::string FrameResponse(const ServeResponse& r) {
+  auto one_line = [](std::string s) {
+    std::replace(s.begin(), s.end(), '\n', ' ');
+    return s;
+  };
+  switch (r.status) {
+    case ServeStatus::kOk: {
+      size_t lines =
+          static_cast<size_t>(std::count(r.body.begin(), r.body.end(), '\n'));
+      return "OK " + std::to_string(lines) + "\n" + r.body;
+    }
+    case ServeStatus::kError:
+      return "ERR " + one_line(r.body) + "\n";
+    case ServeStatus::kTimeout:
+      return "TIMEOUT " + one_line(r.body) + "\n";
+  }
+  return "ERR unreachable\n";
+}
+
+}  // namespace fdb

@@ -1,0 +1,242 @@
+#include "serve/query_server.h"
+
+#include <utility>
+
+namespace fdb {
+
+QueryServer::QueryServer(Database* db, ServeOptions opts)
+    : db_(db),
+      opts_(opts),
+      engine_(db, opts.engine),
+      cache_(opts.plan_cache_capacity) {
+  FDB_CHECK_MSG(opts_.num_workers > 0, "server needs at least one worker");
+  workers_.reserve(static_cast<size_t>(opts_.num_workers));
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
+                                               double deadline_seconds) {
+  Waiter waiter;
+  std::future<ServeResponse> future = waiter.promise.get_future();
+
+  double deadline = deadline_seconds > 0.0 ? deadline_seconds
+                                           : opts_.default_deadline_seconds;
+  if (deadline > 0.0) {
+    waiter.has_deadline = true;
+    waiter.deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(deadline));
+  }
+
+  // Normalise outside the lock; an unlexable statement is answered
+  // immediately (it could never join a batch or hit the cache).
+  std::string signature;
+  try {
+    signature = NormalizeSql(sql, db_->catalog());
+  } catch (const FdbError& e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++received_;
+      ++errors_;
+    }
+    waiter.promise.set_value(
+        ServeResponse{ServeStatus::kError, e.what(), false, false});
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++received_;
+    if (stopping_) {
+      ++errors_;
+      waiter.promise.set_value(ServeResponse{
+          ServeStatus::kError, "server is shutting down", false, false});
+      return future;
+    }
+    auto it = open_.find(signature);
+    if (it != open_.end()) {
+      // Batching front door: identical normalised SQL coalesces onto the
+      // already-queued evaluation.
+      waiter.coalesced = true;
+      ++coalesced_;
+      it->second->waiters.push_back(std::move(waiter));
+      return future;
+    }
+    auto group = std::make_unique<Group>();
+    group->raw_sql = sql;
+    group->signature = std::move(signature);
+    group->waiters.push_back(std::move(waiter));
+    open_.emplace(group->signature, group.get());
+    queue_.push_back(std::move(group));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ServeResponse QueryServer::Query(const std::string& sql,
+                                 double deadline_seconds) {
+  return Submit(sql, deadline_seconds).get();
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Group> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      group = std::move(queue_.front());
+      queue_.pop_front();
+      // Close the group: from here on, identical SQL starts a fresh one
+      // rather than joining an evaluation that is about to run.
+      open_.erase(group->signature);
+    }
+    ExecuteGroup(*group);
+  }
+}
+
+void QueryServer::ExecuteGroup(Group& group) {
+  // Deadline check at dequeue: expired requests are answered without
+  // evaluating; if nobody is left waiting, the evaluation is skipped.
+  const Clock::time_point now = Clock::now();
+  std::vector<Waiter> live, expired;
+  live.reserve(group.waiters.size());
+  for (Waiter& w : group.waiters) {
+    if (w.has_deadline && w.deadline <= now) {
+      expired.push_back(std::move(w));
+    } else {
+      live.push_back(std::move(w));
+    }
+  }
+  if (!expired.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      timeouts_ += expired.size();
+    }
+    for (Waiter& w : expired) {
+      w.promise.set_value(ServeResponse{ServeStatus::kTimeout,
+                                        "deadline exceeded before evaluation",
+                                        false, w.coalesced});
+    }
+  }
+  if (live.empty()) return;
+
+  ServeResponse response;
+  try {
+    const uint64_t version = db_->version();
+    std::shared_ptr<const CachedPlan> plan =
+        cache_.Lookup(group.signature, version);
+    if (plan == nullptr) {
+      auto fresh = std::make_shared<CachedPlan>();
+      fresh->query = engine_.Parse(group.raw_sql);
+      // The f-tree search ignores projection/grouping, so one tree serves
+      // both the SPJ and the aggregate path of this query.
+      fresh->search = engine_.OptimizeFlat(fresh->query);
+      cache_.Insert(group.signature, version, fresh);
+      plan = std::move(fresh);
+    } else {
+      response.cache_hit = true;
+    }
+
+    // The steady-state hot path: ground/execute/enumerate on the cached
+    // tree — no optimisation.
+    FdbResult result{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}};
+    if (plan->query.IsAggregate()) {
+      AggregateResult ar = engine_.ExecuteAggregate(plan->query, &plan->search);
+      result = FdbResult{std::move(ar.grouped.rep), std::move(ar.plan),
+                         ar.optimize_seconds, ar.evaluate_seconds, {}};
+      result.aggregate = std::move(ar.table);
+    } else {
+      result = engine_.EvaluateFlat(plan->query, &plan->search);
+    }
+    response.status = ServeStatus::kOk;
+    response.body = RenderResult(*db_, result);
+  } catch (const FdbError& e) {
+    response.status = ServeStatus::kError;
+    response.body = e.what();
+  } catch (const std::exception& e) {
+    response.status = ServeStatus::kError;
+    response.body = std::string("internal error: ") + e.what();
+  }
+
+  // Decide each waiter's outcome (a deadline that passed during evaluation
+  // still times out — that client has given up), update the counters, and
+  // only then fulfil the promises: a client that has its response in hand
+  // must see it reflected in stats().
+  const Clock::time_point done = Clock::now();
+  std::vector<ServeResponse> outcomes;
+  outcomes.reserve(live.size());
+  uint64_t delivered_errors = 0, delivered_timeouts = 0;
+  for (const Waiter& w : live) {
+    ServeResponse r = response;
+    r.coalesced = w.coalesced;
+    if (w.has_deadline && w.deadline <= done) {
+      r = ServeResponse{ServeStatus::kTimeout,
+                        "deadline exceeded during evaluation",
+                        response.cache_hit, w.coalesced};
+      ++delivered_timeouts;
+    } else if (r.status == ServeStatus::kError) {
+      ++delivered_errors;
+    }
+    outcomes.push_back(std::move(r));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executed_;
+    errors_ += delivered_errors;
+    timeouts_ += delivered_timeouts;
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    live[i].promise.set_value(std::move(outcomes[i]));
+  }
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.received = received_;
+    s.executed = executed_;
+    s.coalesced = coalesced_;
+    s.errors = errors_;
+    s.timeouts = timeouts_;
+  }
+  s.plan_cache = cache_.stats();
+  return s;
+}
+
+void QueryServer::Shutdown() {
+  std::vector<std::unique_ptr<Group>> drained;
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Drain unexecuted work so no future is left dangling.
+    while (!queue_.empty()) {
+      open_.erase(queue_.front()->signature);
+      drained.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    for (const auto& group : drained) errors_ += group->waiters.size();
+    // Claim the workers under the lock: concurrent Shutdown calls each
+    // join only the threads they claimed (usually none for the loser).
+    to_join.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& group : drained) {
+    for (Waiter& w : group->waiters) {
+      w.promise.set_value(ServeResponse{ServeStatus::kError,
+                                        "server is shutting down", false,
+                                        w.coalesced});
+    }
+  }
+}
+
+}  // namespace fdb

@@ -1,0 +1,140 @@
+// QueryServer: a long-lived, concurrent entry point over one frozen
+// Database + Engine pair — the serve path of the ROADMAP north star.
+//
+// Architecture (one process, no I/O here — examples/fdb_server.cc adds the
+// socket front end):
+//
+//   clients ──Submit(sql)──▶ batching front door ──▶ request queue
+//                                │ (requests with identical normalised
+//                                │  SQL coalesce onto one evaluation)
+//                                ▼
+//                      worker thread pool (N threads)
+//                                │  plan cache lookup (normalised SQL,
+//                                │  db version) ── miss: parse + optimise
+//                                ▼
+//                  ground / execute / enumerate / render
+//                                │
+//                                ▼ one rendered body, fan-out to waiters
+//
+// The shared plan cache (serve/plan_cache.h) makes the steady-state hot
+// path cache-lookup -> ground/execute -> enumerate, skipping the
+// exponential f-tree search entirely. Per-request deadlines are enforced
+// at dequeue (expired requests are answered TIMEOUT without evaluating)
+// and again at delivery.
+//
+// Thread safety: the database must be fully loaded before the server is
+// constructed and must not change while it serves (Database::version
+// guards cached plans against changes *between* serving sessions, not
+// concurrent ones). Everything the workers share — the engine's LP memo,
+// the dictionary, the plan cache, the queue — is internally synchronised;
+// see the Engine concurrency contract in api/engine.h.
+#ifndef FDB_SERVE_QUERY_SERVER_H_
+#define FDB_SERVE_QUERY_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/database.h"
+#include "api/engine.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+
+namespace fdb {
+
+/// Serve-path knobs.
+struct ServeOptions {
+  int num_workers = 4;               ///< worker threads executing queries
+  size_t plan_cache_capacity = 64;   ///< LRU bound on cached plans
+  double default_deadline_seconds = 0.0;  ///< <= 0: no deadline
+  EngineOptions engine;              ///< forwarded to the shared Engine
+};
+
+/// Counters of one QueryServer (monotonic since construction).
+struct ServerStats {
+  uint64_t received = 0;   ///< requests submitted
+  uint64_t executed = 0;   ///< evaluations actually run
+  uint64_t coalesced = 0;  ///< requests answered by another's evaluation
+  uint64_t errors = 0;     ///< requests answered ERR
+  uint64_t timeouts = 0;   ///< requests answered TIMEOUT
+  PlanCacheStats plan_cache;
+};
+
+/// A concurrent read-only SQL query server over one Database.
+class QueryServer {
+ public:
+  /// Spawns the worker pool. `db` must outlive the server and stay frozen
+  /// while it runs.
+  explicit QueryServer(Database* db, ServeOptions opts = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Enqueues one SQL request. `deadline_seconds` <= 0 falls back to the
+  /// configured default (and 0 there means no deadline). The future is
+  /// always fulfilled — with kError after Shutdown.
+  std::future<ServeResponse> Submit(const std::string& sql,
+                                    double deadline_seconds = 0.0);
+
+  /// Blocking convenience: Submit + wait.
+  ServeResponse Query(const std::string& sql, double deadline_seconds = 0.0);
+
+  /// Snapshot of the server counters, including the plan cache's.
+  ServerStats stats() const;
+
+  const Database& db() const { return *db_; }
+  const PlanCache& plan_cache() const { return cache_; }
+
+  /// Stops accepting work, drains the queue (answering kError) and joins
+  /// the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Waiter {
+    std::promise<ServeResponse> promise;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    bool coalesced = false;
+  };
+
+  /// One evaluation unit: every queued request with the same normalised
+  /// SQL. Groups are closed when a worker dequeues them, so late arrivals
+  /// start a fresh group instead of joining an in-flight evaluation.
+  struct Group {
+    std::string raw_sql;    ///< first arrival's text (parsed on plan miss)
+    std::string signature;  ///< normalised SQL, the plan-cache key
+    std::vector<Waiter> waiters;
+  };
+
+  void WorkerLoop();
+  void ExecuteGroup(Group& group);
+
+  Database* db_;
+  ServeOptions opts_;
+  Engine engine_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Group>> queue_;
+  std::unordered_map<std::string, Group*> open_;  // signature -> queued group
+  bool stopping_ = false;
+  uint64_t received_ = 0, executed_ = 0, coalesced_ = 0, errors_ = 0,
+           timeouts_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_SERVE_QUERY_SERVER_H_

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/attrset.h"
 #include "common/dictionary.h"
@@ -67,6 +70,49 @@ TEST(Dictionary, InternAndDecode) {
   EXPECT_EQ(d.Lookup("absent"), -1);
   EXPECT_EQ(d.size(), 2u);
   EXPECT_THROW(d.Decode(99), FdbError);
+}
+
+// Interning is synchronised and append-only (the serve path parses SQL —
+// which interns literals — concurrently with readers decoding result
+// values; see common/dictionary.h). Codes must be consistent: one code per
+// string, Decode(code) round-trips, and references returned by Decode stay
+// valid while other threads intern.
+TEST(Dictionary, ConcurrentInternIsConsistent) {
+  Dictionary d;
+  // Pre-intern a few strings so readers have stable targets.
+  const Value pre0 = d.Intern("base0");
+  const Value pre1 = d.Intern("base1");
+  const std::string& ref0 = d.Decode(pre0);  // must survive growth
+
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 64;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Value>> codes(
+      kThreads, std::vector<Value>(kStrings, -1));
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        // All threads intern the same kStrings strings, racing on firsts.
+        std::string s = "shared" + std::to_string(i);
+        Value c = d.Intern(s);
+        codes[static_cast<size_t>(t)][static_cast<size_t>(i)] = c;
+        if (d.Decode(c) != s) failures.fetch_add(1);
+        if (d.Lookup(s) != c) failures.fetch_add(1);
+        if (d.Decode(pre1) != "base1") failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Every thread agreed on every code.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(codes[static_cast<size_t>(t)], codes[0]);
+  }
+  EXPECT_EQ(d.size(), 2u + kStrings);
+  EXPECT_EQ(ref0, "base0");  // reference from before the growth still valid
 }
 
 TEST(Rng, DeterministicAcrossInstances) {

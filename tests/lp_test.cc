@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
 #include "lp/edge_cover.h"
 #include "lp/simplex.h"
 
@@ -103,6 +108,56 @@ TEST(EdgeCover, LongChainAlternating) {
   // every other relation: 2.
   EXPECT_NEAR(FractionalEdgeCoverValue({0b0011, 0b0110, 0b1100, 0b1000}),
               2.0, kTol);
+}
+
+// Counters regression under concurrency: the serve path shares one solver
+// across all workers (see the thread-safety note in lp/edge_cover.h). Every
+// Solve call is either a hit or a solve — never lost, never double-counted
+// — and concurrent solves of the same instance agree on the value.
+TEST(EdgeCoverSolver, ConcurrentSolvesKeepCountersConsistent) {
+  EdgeCoverSolver solver;
+  // A few distinct canonical instances plus permuted aliases of each.
+  const std::vector<std::vector<uint64_t>> instances = {
+      {0b011, 0b110, 0b100}, {0b100, 0b011, 0b110},  // alias of the first
+      {0b0011, 0b0110, 0b1100, 0b1000},
+      {0b1, 0b10, 0b100},
+      {0b111},
+      {0b101, 0b011},
+  };
+  // Single-threaded reference values.
+  EdgeCoverSolver reference;
+  std::vector<double> expect;
+  expect.reserve(instances.size());
+  for (const auto& inst : instances) expect.push_back(reference.Solve(inst));
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        size_t i = static_cast<size_t>(t + r) % instances.size();
+        if (std::abs(solver.Solve(instances[i]) - expect[i]) > kTol) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kRounds;
+  // The invariant from the header: solve_count + hit_count == calls. Racing
+  // threads may duplicate a solve (both miss before either inserts) but no
+  // call may go uncounted.
+  EXPECT_EQ(solver.solve_count() + solver.hit_count(), total);
+  // 5 distinct canonical instances; duplicated first-solves are bounded by
+  // the thread count per instance.
+  EXPECT_GE(solver.solve_count(), 5u);
+  EXPECT_LE(solver.solve_count(), 5u * kThreads);
+  EXPECT_EQ(solver.cache_size(), 5u);
 }
 
 }  // namespace
