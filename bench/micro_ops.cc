@@ -10,6 +10,7 @@
 #include "core/enumerate.h"
 #include "core/ground.h"
 #include "core/ops.h"
+#include "core/parallel_enumerate.h"
 #include "lp/edge_cover.h"
 #include "opt/fplan_search.h"
 #include "opt/ftree_search.h"
@@ -107,6 +108,36 @@ void BM_Enumerate(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_Enumerate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ParallelEnumerate(benchmark::State& state) {
+  // Same stream as BM_Enumerate (N=100k path rep), chunked through the
+  // morsel planner onto state.range(0) threads. Arg(1) takes the
+  // sequential fallback (no planning), so it measures the wrapper's
+  // overhead against BM_Enumerate/100000; Arg(2+) includes the planner
+  // DP and chunk bookkeeping.
+  int threads = static_cast<int>(state.range(0));
+  size_t n = 100000;
+  Relation r = RandomRelation({0, 1, 2}, n, 50, 7);
+  FRep rep = GroundRelation(r, 0);
+  for (auto _ : state) {
+    EnumerateOptions opts;
+    opts.threads = threads;
+    opts.parallel_cutoff = 0;
+    ParallelEnumerator pe(rep, opts);
+    std::vector<size_t> counts(pe.num_chunks(), 0);
+    pe.Enumerate([&counts](size_t c, TupleEnumerator& en) {
+      size_t local = 0;
+      while (en.Next()) ++local;
+      counts[c] = local;
+    });
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelEnumerate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_EdgeCoverColdCache(benchmark::State& state) {
   // Fresh solver per iteration: every path instance solved by simplex.

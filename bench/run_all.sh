@@ -24,7 +24,7 @@ mkdir -p "$OUT_DIR"
 
 for b in abl_cost_models exp1_optimisation_flat exp2_optimisers \
          exp3_eval_flat exp4_eval_factorised exp5_one_to_many \
-         exp6_group_aggregates exp7_serve; do
+         exp6_group_aggregates exp7_serve exp8_parallel_enumerate; do
   if [ -x "$BENCH_DIR/$b" ]; then
     echo ">> $b"
     "$BENCH_DIR/$b" --json "$OUT_DIR/BENCH_${b}.json"

@@ -4,6 +4,7 @@
 //
 //   $ ./build/examples/fdb_server [--pipe | --port N] [--workers N]
 //                                 [--cache N] [--deadline SECS]
+//                                 [--max-queue N] [--enum-threads N]
 //                                 [csv files...]
 //
 // Each CSV file is loaded as a relation named after the file stem; without
@@ -53,7 +54,8 @@ std::string StatsLine(const QueryServer& server) {
   std::ostringstream os;
   os << "STATS received=" << s.received << " executed=" << s.executed
      << " coalesced=" << s.coalesced << " errors=" << s.errors
-     << " timeouts=" << s.timeouts << " plan_hits=" << s.plan_cache.hits
+     << " timeouts=" << s.timeouts << " rejected=" << s.rejected
+     << " plan_hits=" << s.plan_cache.hits
      << " plan_misses=" << s.plan_cache.misses
      << " plan_evictions=" << s.plan_cache.evictions
      << " plan_invalidations=" << s.plan_cache.invalidations
@@ -178,6 +180,10 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::stoul(next("--cache")));
     } else if (arg == "--deadline") {
       opts.default_deadline_seconds = std::stod(next("--deadline"));
+    } else if (arg == "--max-queue") {
+      opts.max_queue = static_cast<size_t>(std::stoul(next("--max-queue")));
+    } else if (arg == "--enum-threads") {
+      opts.engine.enumerate.threads = std::stoi(next("--enum-threads"));
     } else {
       csv_files.push_back(arg);
     }

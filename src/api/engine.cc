@@ -94,7 +94,7 @@ AggregateResult Engine::ExecuteAggregate(const Query& q,
   Timer agg_timer;
   res.grouped = GroupByAggregate(base.rep, q.group_by, q.aggregates,
                                  &solver_, &res.plan);
-  res.table = res.grouped.Materialize();
+  res.table = res.grouped.Materialize(opts_.enumerate);
   res.table.SortByKey();
   res.evaluate_seconds = base.evaluate_seconds + agg_timer.Seconds();
   return res;

@@ -19,6 +19,7 @@
 #include "core/fplan.h"
 #include "core/frep.h"
 #include "core/ground.h"
+#include "core/parallel_enumerate.h"
 #include "opt/fplan_search.h"
 #include "opt/ftree_search.h"
 #include "opt/greedy.h"
@@ -32,6 +33,12 @@ struct EngineOptions {
   bool greedy_optimizer = false;  ///< greedy instead of exhaustive f-plans
   CostMode cost_mode = CostMode::kAsymptotic;
   FPlanSearchOptions search;      ///< advanced search options
+  /// Parallel enumeration knobs (core/parallel_enumerate.h): drive the
+  /// materialisation paths — MaterializeResult and the grouped-table
+  /// flattening of ExecuteAggregate. Defaults enumerate large results on
+  /// the shared thread pool and keep small ones on the caller; output is
+  /// identical to sequential enumeration for every thread count.
+  EnumerateOptions enumerate;
 };
 
 /// Outcome of an FDB evaluation.
@@ -142,6 +149,15 @@ class Engine {
   /// aggregate queries dispatch to ExecuteAggregate, returning the grouped
   /// table in FdbResult::aggregate with the factorised groups as `rep`.
   FdbResult Execute(const std::string& sql_text);
+
+  /// Materialises the visible relation of an evaluation result — the flat
+  /// output tap of EvaluateFlat/Execute. Large representations enumerate
+  /// in parallel per EngineOptions::enumerate (deterministic: identical
+  /// rows and order for every thread count); small ones stay on the
+  /// caller thread.
+  Relation MaterializeResult(const FdbResult& res) const {
+    return MaterializeVisible(res.rep, opts_.enumerate);
+  }
 
   /// Baselines.
   RdbResult ExecuteRdb(const Query& q, const RdbOptions& opts = {}) const;

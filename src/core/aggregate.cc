@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "core/enumerate.h"
 #include "core/ops.h"
 
@@ -291,14 +293,24 @@ uint64_t GroupedRep::NumGroups() const {
   return rep.empty() ? 0 : rep.CountTuplesExact();
 }
 
-GroupedTable GroupedRep::Materialize() const {
-  GroupedTable tbl;
-  tbl.group_schema = group_attrs.ToVector();
-  tbl.specs = specs;
-  if (rep.empty()) return tbl;
+namespace {
 
+// The frame-odometer walk of GroupedRep::Materialize, restricted to
+// `bounds` on the top pre-order frames (empty = whole group stream; same
+// chain contract as the TupleEnumerator bounds constructor). Appends the
+// covered groups' rows to *tbl in odometer order; `est_rows` pre-reserves
+// the row storage.
+void MaterializeRange(const GroupedRep& g, std::span<const EntryBound> bounds,
+                      double est_rows, GroupedTable* tbl) {
+  const FRep& rep = g.rep;
   const FTree& t = rep.tree();
-  const size_t ns = specs.size();
+  const size_t ns = g.specs.size();
+  GroupedTable& out = *tbl;
+  if (est_rows > 0.0 && est_rows < 1e9) {
+    const size_t rows = static_cast<size_t>(est_rows);
+    out.keys.reserve(out.keys.size() + rows * out.group_schema.size());
+    out.aggs.reserve(out.aggs.size() + rows * ns);
+  }
 
   // Pre-order frames over the group forest (shared with TupleEnumerator)
   // plus the per-frame odometer state of this walk.
@@ -317,19 +329,19 @@ GroupedTable GroupedRep::Materialize() const {
   }
 
   std::vector<Value> cur_val(kMaxAttrs, 0);
-  std::vector<Value> key(tbl.group_schema.size());
+  std::vector<Value> key(out.group_schema.size());
   std::vector<double> row(ns);
   // Per-depth scratch for the running per-spec sums (avoids per-entry
   // allocation in the recursion below).
   std::vector<std::vector<double>> sums_at(frames.size() + 1,
                                            std::vector<double>(ns, 0.0));
 
-  const double g_count = static_cast<double>(global_count);
+  const double g_count = static_cast<double>(g.global_count);
 
   auto emit = [&](uint64_t cnt, const std::vector<double>& sums) {
-    uint64_t total = MulCount(cnt, global_count);
+    uint64_t total = MulCount(cnt, g.global_count);
     for (size_t j = 0; j < ns; ++j) {
-      const AggSpec& sp = specs[j];
+      const AggSpec& sp = g.specs[j];
       // Pair-combine of the group-local fold with the global multipliers:
       // SUM = sums[j] * G + global_sum[j] * cnt (exactly one term is
       // non-zero unless the spec's attribute is a group attribute).
@@ -339,26 +351,27 @@ GroupedTable GroupedRep::Materialize() const {
           break;
         case AggFn::kSum:
         case AggFn::kAvg: {
-          double s = spec_where[j] == Where::kGroup
+          double s = g.spec_where[j] == GroupedRep::Where::kGroup
                          ? static_cast<double>(cur_val[sp.attr]) *
                                static_cast<double>(total)
                          : sums[j] * g_count +
-                               global_sum[j] * static_cast<double>(cnt);
+                               g.global_sum[j] * static_cast<double>(cnt);
           row[j] = sp.fn == AggFn::kSum ? s : s / static_cast<double>(total);
           break;
         }
         case AggFn::kMin:
         case AggFn::kMax: {
           Value v = 0;
-          if (spec_where[j] == Where::kGroup) {
+          if (g.spec_where[j] == GroupedRep::Where::kGroup) {
             v = cur_val[sp.attr];
-          } else if (spec_where[j] == Where::kGlobal) {
-            v = sp.fn == AggFn::kMin ? global_min[j] : global_max[j];
+          } else if (g.spec_where[j] == GroupedRep::Where::kGlobal) {
+            v = sp.fn == AggFn::kMin ? g.global_min[j] : g.global_max[j];
           } else {
             const Frame& f =
-                frames[static_cast<size_t>(frame_of[spec_node[j]])];
+                frames[static_cast<size_t>(frame_of[g.spec_node[j]])];
             size_t gi = f.off + f.entry;
-            v = sp.fn == AggFn::kMin ? entry_min[j][gi] : entry_max[j][gi];
+            v = sp.fn == AggFn::kMin ? g.entry_min[j][gi]
+                                     : g.entry_max[j][gi];
           }
           row[j] = static_cast<double>(v);
           break;
@@ -366,9 +379,9 @@ GroupedTable GroupedRep::Materialize() const {
       }
     }
     for (size_t c = 0; c < key.size(); ++c) {
-      key[c] = cur_val[tbl.group_schema[c]];
+      key[c] = cur_val[out.group_schema[c]];
     }
-    tbl.AddRow(key, row);
+    out.AddRow(key, row);
   };
 
   auto rec = [&](auto&& self, size_t i, uint64_t cnt) -> void {
@@ -390,18 +403,70 @@ GroupedTable GroupedRep::Materialize() const {
     const AttrSet attrs = t.node(f.node).attrs;
     const std::vector<double>& sums = sums_at[i];
     std::vector<double>& next = sums_at[i + 1];
-    for (size_t e = 0; e < un.size(); ++e) {
+    // Entry bounds restrict the first bounds.size() frames, exactly as in
+    // TupleEnumerator: pinned chain above, one ranged frame at the end.
+    size_t lo = 0, hi = un.size();
+    if (i < bounds.size()) {
+      lo = bounds[i].begin;
+      hi = std::min<size_t>(hi, bounds[i].end);
+    }
+    for (size_t e = lo; e < hi; ++e) {
       f.entry = e;
       for (AttrId a : attrs) cur_val[a] = un.value(e);
       const size_t gi = f.off + e;
       for (size_t s = 0; s < ns; ++s) {
-        next[s] = sums[s] * static_cast<double>(entry_count[gi]) +
-                  entry_sum[s][gi] * static_cast<double>(cnt);
+        next[s] = sums[s] * static_cast<double>(g.entry_count[gi]) +
+                  g.entry_sum[s][gi] * static_cast<double>(cnt);
       }
-      self(self, i + 1, MulCount(cnt, entry_count[gi]));
+      self(self, i + 1, MulCount(cnt, g.entry_count[gi]));
     }
   };
   rec(rec, 0, 1);
+}
+
+}  // namespace
+
+GroupedTable GroupedRep::Materialize() const {
+  EnumerateOptions sequential;
+  sequential.threads = 1;
+  return Materialize(sequential);
+}
+
+GroupedTable GroupedRep::Materialize(const EnumerateOptions& opts) const {
+  GroupedTable tbl;
+  tbl.group_schema = group_attrs.ToVector();
+  tbl.specs = specs;
+  if (rep.empty()) return tbl;
+
+  // The morsel planner partitions the group forest's odometer exactly as
+  // it partitions tuple enumeration; chunks concatenate in plan order, so
+  // the row order matches the sequential walk for every thread count.
+  ParallelEnumerator pe(rep, opts, /*visible_only=*/false);
+  const MorselPlan& plan = pe.plan();
+  if (pe.num_chunks() <= 1) {
+    MaterializeRange(*this, {}, plan.est_total, &tbl);
+    return tbl;
+  }
+  std::vector<GroupedTable> parts(pe.num_chunks());
+  ThreadPool::Shared().ParallelFor(
+      pe.num_chunks(),
+      [&](size_t i) {
+        GroupedTable& part = parts[i];
+        part.group_schema = tbl.group_schema;
+        part.specs = tbl.specs;
+        MaterializeRange(*this, plan.morsels[i].bounds,
+                         plan.morsels[i].est_tuples, &part);
+      },
+      pe.threads());
+  size_t rows = 0;
+  for (const GroupedTable& part : parts) rows += part.num_rows;
+  tbl.keys.reserve(rows * tbl.group_schema.size());
+  tbl.aggs.reserve(rows * tbl.specs.size());
+  for (const GroupedTable& part : parts) {
+    tbl.keys.insert(tbl.keys.end(), part.keys.begin(), part.keys.end());
+    tbl.aggs.insert(tbl.aggs.end(), part.aggs.begin(), part.aggs.end());
+  }
+  tbl.num_rows = rows;
   return tbl;
 }
 

@@ -45,6 +45,7 @@
 
 #include "core/fplan.h"
 #include "core/frep.h"
+#include "core/parallel_enumerate.h"
 #include "storage/query.h"
 
 namespace fdb {
@@ -121,8 +122,13 @@ struct GroupedRep {
 
   /// Flattens to one row per group: group keys (ascending attribute order)
   /// plus one double per spec. Throws FdbError if a per-group count
-  /// overflows uint64.
+  /// overflows uint64. The parameterless overload runs sequentially; the
+  /// EnumerateOptions overload splits the group forest with the morsel
+  /// planner (core/parallel_enumerate.h) and materialises the chunks on
+  /// the shared thread pool, concatenated in chunk order — the row order
+  /// is identical to the sequential walk for every thread count.
   GroupedTable Materialize() const;
+  GroupedTable Materialize(const EnumerateOptions& opts) const;
 };
 
 /// Grouped aggregation inside the factorisation (restructure-then-collapse,

@@ -1,6 +1,7 @@
 #include "core/enumerate.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace fdb {
 
@@ -32,34 +33,49 @@ std::vector<PreOrderFrame> BuildPreOrderFrames(const FTree& t,
   return frames;
 }
 
+std::vector<char> VisibleKeepMask(const FTree& t) {
+  // A subtree is kept iff it contains a visible attribute: its assignments
+  // never change the visible tuple otherwise, so enumerating it would only
+  // repeat it (see the contract in enumerate.h).
+  std::vector<char> keep(t.pool_size(), 1);
+  std::vector<int> order = t.PreOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const FTreeNode& nd = t.node(*it);
+    bool vis = !nd.visible.Empty();
+    for (int c : nd.children) vis = vis || keep[static_cast<size_t>(c)];
+    keep[static_cast<size_t>(*it)] = vis ? 1 : 0;
+  }
+  return keep;
+}
+
 TupleEnumerator::TupleEnumerator(const FRep& rep, bool visible_only)
-    : rep_(&rep), current_(kMaxAttrs, 0) {
+    : TupleEnumerator(rep, visible_only, {}) {}
+
+TupleEnumerator::TupleEnumerator(const FRep& rep, bool visible_only,
+                                 std::vector<EntryBound> bounds)
+    : rep_(&rep), current_(kMaxAttrs, 0), bounds_(std::move(bounds)) {
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    FDB_CHECK_MSG(bounds_[i].begin < bounds_[i].end,
+                  "empty entry bound on an enumeration frame");
+    FDB_CHECK_MSG(i + 1 == bounds_.size() ||
+                      bounds_[i].begin + 1 == bounds_[i].end,
+                  "all entry bounds but the last must pin a single entry");
+  }
   if (rep.empty()) {
     done_ = true;
     return;
   }
   const FTree& t = rep.tree();
-  // In visible_only mode, whole subtrees without a visible attribute get
-  // no frames: their assignments never change the visible tuple, so
-  // enumerating them would only repeat it (see the contract in
-  // enumerate.h).
   std::vector<char> keep;
-  if (visible_only) {
-    keep.assign(t.pool_size(), 1);
-    std::vector<int> order = t.PreOrder();
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      const FTreeNode& nd = t.node(*it);
-      bool vis = !nd.visible.Empty();
-      for (int c : nd.children) vis = vis || keep[static_cast<size_t>(c)];
-      keep[static_cast<size_t>(*it)] = vis ? 1 : 0;
-    }
-  }
+  if (visible_only) keep = VisibleKeepMask(t);
   for (const PreOrderFrame& pf :
        BuildPreOrderFrames(t, visible_only ? &keep : nullptr)) {
     Frame f;
     static_cast<PreOrderFrame&>(f) = pf;
     frames_.push_back(f);
   }
+  FDB_CHECK_MSG(bounds_.size() <= frames_.size(),
+                "more entry bounds than enumeration frames");
   if (frames_.empty()) {
     // The nullary relation <>, or a non-empty rep whose attributes are all
     // invisible: exactly one (empty) visible tuple.
@@ -67,7 +83,7 @@ TupleEnumerator::TupleEnumerator(const FRep& rep, bool visible_only)
   }
 }
 
-void TupleEnumerator::ResetFrame(size_t i) {
+bool TupleEnumerator::ResetFrame(size_t i) {
   Frame& f = frames_[i];
   if (f.parent_pos < 0) {
     f.union_id = rep_->roots()[f.slot];
@@ -77,8 +93,10 @@ void TupleEnumerator::ResetFrame(size_t i) {
     const size_t k = rep_->tree().node(pf.node).children.size();
     f.union_id = pu.Child(pf.entry, f.slot, k);
   }
-  f.entry = 0;
+  f.entry = i < bounds_.size() ? bounds_[i].begin : 0;
+  if (f.entry >= rep_->u(f.union_id).size()) return false;
   WriteValues(i);
+  return true;
 }
 
 void TupleEnumerator::WriteValues(size_t i) {
@@ -100,14 +118,26 @@ bool TupleEnumerator::Next() {
   }
   if (!started_) {
     started_ = true;
-    for (size_t i = 0; i < frames_.size(); ++i) ResetFrame(i);
+    // The first pass doubles as bound validation: bounded frames form a
+    // pinned chain whose unions never change afterwards, so a bound that
+    // survives here can never miss on a mid-odometer reset.
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (!ResetFrame(i)) {
+        done_ = true;  // bound misses the union: empty stream
+        return false;
+      }
+    }
     return true;
   }
   // Odometer: advance the deepest frame with a next entry; reset the rest.
   size_t i = frames_.size();
   while (i > 0) {
     Frame& f = frames_[i - 1];
-    if (f.entry + 1 < rep_->u(f.union_id).size()) {
+    size_t limit = rep_->u(f.union_id).size();
+    if (i - 1 < bounds_.size()) {
+      limit = std::min<size_t>(limit, bounds_[i - 1].end);
+    }
+    if (f.entry + 1 < limit) {
       ++f.entry;
       WriteValues(i - 1);
       for (size_t j = i; j < frames_.size(); ++j) ResetFrame(j);
@@ -119,10 +149,15 @@ bool TupleEnumerator::Next() {
   return false;
 }
 
-Relation MaterializeVisible(const FRep& rep) {
-  AttrSet visible = rep.tree().VisibleAttrs();
-  std::vector<AttrId> schema = visible.ToVector();
+Relation internal::MaterializeVisibleSized(const FRep& rep, double est_rows) {
+  std::vector<AttrId> schema = rep.tree().VisibleAttrs().ToVector();
   Relation out(schema);
+  // Reserve the pre-dedup row count up front; skip the reservation when
+  // the count is unknown or approximate-huge (those results do not fit
+  // memory anyway).
+  if (!schema.empty() && est_rows > 0.0 && est_rows < 1e9) {
+    out.Reserve(static_cast<size_t>(est_rows));
+  }
   TupleEnumerator en(rep, /*visible_only=*/true);
   std::vector<Value> tuple(schema.size());
   while (en.Next()) {
@@ -131,6 +166,23 @@ Relation MaterializeVisible(const FRep& rep) {
   }
   out.SortLex();  // relations are sets: sort + dedup
   return out;
+}
+
+Relation MaterializeVisible(const FRep& rep) {
+  double rows = -1.0;
+  if (!rep.empty()) {
+    // The exact pre-dedup row count: the product over the kept root trees
+    // of their visible-restricted tuple counts (the CountTuples DP with
+    // invisible-only subtrees masked out).
+    std::vector<char> keep = VisibleKeepMask(rep.tree());
+    std::vector<double> counts = rep.SubtreeTupleCounts(&keep);
+    rows = 1.0;
+    const auto& roots = rep.tree().roots();
+    for (size_t i = 0; i < roots.size(); ++i) {
+      if (keep[static_cast<size_t>(roots[i])]) rows *= counts[rep.roots()[i]];
+    }
+  }
+  return internal::MaterializeVisibleSized(rep, rows);
 }
 
 }  // namespace fdb

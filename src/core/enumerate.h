@@ -30,6 +30,19 @@ std::vector<PreOrderFrame> BuildPreOrderFrames(const FTree& t,
                                                const std::vector<char>* keep =
                                                    nullptr);
 
+/// The node mask of visible_only enumeration: a node is kept iff its
+/// subtree contains a visible attribute (closed under parents, so it is a
+/// valid `keep` argument for BuildPreOrderFrames).
+std::vector<char> VisibleKeepMask(const FTree& t);
+
+/// Half-open entry range [begin, end) restricting one pre-order frame of
+/// an enumeration (see the TupleEnumerator bounds constructor). Produced
+/// by the morsel planner in core/parallel_enumerate.h.
+struct EntryBound {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
 /// Streams the tuples of an f-representation.
 ///
 /// Contract: in the default mode each *distinct tuple over all attributes
@@ -51,6 +64,17 @@ class TupleEnumerator {
  public:
   explicit TupleEnumerator(const FRep& rep, bool visible_only = false);
 
+  /// Range-restricted enumeration: `bounds[i]` restricts the entries of
+  /// pre-order frame i (the same frame order the unrestricted enumerator
+  /// walks, after the visible_only skip) to [begin, end). Every bound but
+  /// the last must pin exactly one entry (begin + 1 == end), so the
+  /// restricted frames form a chain whose unions never change during the
+  /// walk — the shape the morsel planner emits. The restricted stream is
+  /// a contiguous slice of the unrestricted stream, in the same order;
+  /// a bound that misses its union entirely yields the empty stream.
+  TupleEnumerator(const FRep& rep, bool visible_only,
+                  std::vector<EntryBound> bounds);
+
   /// Advances to the next tuple; false when exhausted. The first call
   /// positions the enumerator on the first tuple.
   bool Next();
@@ -68,15 +92,19 @@ class TupleEnumerator {
     size_t entry = 0;
   };
 
-  // Sets frames_[i].union_id from the parent frame (or root slot) and
-  // resets its entry to 0; writes the class values into current_.
-  void ResetFrame(size_t i);
+  // Sets frames_[i].union_id from the parent frame (or root slot), resets
+  // its entry to the frame's lower bound (0 when unbounded) and writes the
+  // class values into current_. Returns false when the bound misses the
+  // union entirely — possible only on the first pass, since bounded frames
+  // form a pinned chain whose unions never change afterwards.
+  bool ResetFrame(size_t i);
   void WriteValues(size_t i);
 
   const FRep* rep_;
   std::vector<Frame> frames_;      // pre-order
   std::vector<size_t> root_slot_;  // frame index -> slot in rep roots
   std::vector<Value> current_;     // indexed by AttrId
+  std::vector<EntryBound> bounds_;  // per-frame ranges on a prefix of frames_
   bool started_ = false;
   bool done_ = false;
   bool nullary_pending_ = false;
@@ -85,9 +113,20 @@ class TupleEnumerator {
 /// Materialises the visible part of `rep` as a relation with schema =
 /// visible attributes in increasing id order; rows sorted, duplicates
 /// removed. Enumerates with `visible_only`, so invisible-only subtrees do
-/// not blow up the intermediate stream. Intended for tests and examples,
-/// not for large results.
+/// not blow up the intermediate stream, and reserves the output capacity
+/// from the restricted tuple count up front (no growth reallocations).
+/// For large representations the overload taking EnumerateOptions
+/// (core/parallel_enumerate.h) enumerates on multiple cores.
 Relation MaterializeVisible(const FRep& rep);
+
+namespace internal {
+
+/// Sequential MaterializeVisible sink with a pre-computed pre-dedup row
+/// count (<= 0: unknown, skip the reservation). Shared by the public
+/// overloads so each call sizes the stream with exactly one DP pass.
+Relation MaterializeVisibleSized(const FRep& rep, double est_rows);
+
+}  // namespace internal
 
 }  // namespace fdb
 

@@ -159,6 +159,57 @@ double FRep::CountTuples(bool* exact) const {
   return approx;
 }
 
+std::vector<double> FRep::SubtreeTupleCounts(
+    const std::vector<char>* keep) const {
+  std::vector<double> memo(NumUnions(), 0.0);
+  if (empty_) return memo;
+  // Same iterative post-order walk as CountDp, but keep-masked (skipped
+  // child slots multiply by 1 and are never visited) and with the whole
+  // memo exposed rather than just the root fold.
+  std::vector<char> done(NumUnions(), 0);
+  std::vector<uint32_t> stack;
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    if (keep == nullptr || (*keep)[static_cast<size_t>(tree_.roots()[i])]) {
+      stack.push_back(roots_[i]);
+    }
+  }
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    if (done[id]) {
+      stack.pop_back();
+      continue;
+    }
+    UnionRef un = u(id);
+    const std::vector<int>& ch = tree_.node(un.node()).children;
+    const size_t k = ch.size();
+    bool ready = true;
+    for (size_t e = 0; e < un.size(); ++e) {
+      for (size_t j = 0; j < k; ++j) {
+        if (keep != nullptr && !(*keep)[static_cast<size_t>(ch[j])]) continue;
+        uint32_t c = un.Child(e, j, k);
+        if (!done[c]) {
+          if (ready) ready = false;
+          stack.push_back(c);
+        }
+      }
+    }
+    if (!ready) continue;
+    double total = 0.0;
+    for (size_t e = 0; e < un.size(); ++e) {
+      double prod = 1.0;
+      for (size_t j = 0; j < k; ++j) {
+        if (keep != nullptr && !(*keep)[static_cast<size_t>(ch[j])]) continue;
+        prod *= memo[un.Child(e, j, k)];
+      }
+      total += prod;
+    }
+    memo[id] = total;
+    done[id] = 1;
+    stack.pop_back();
+  }
+  return memo;
+}
+
 uint64_t FRep::CountTuplesExact() const {
   if (empty_) return 0;
   if (roots_.empty()) return 1;  // the nullary tuple <>

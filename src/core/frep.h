@@ -238,6 +238,17 @@ class FRep {
   /// (product-heavy representations can exceed 2^64 tuples).
   uint64_t CountTuplesExact() const;
 
+  /// The per-union memo of the CountTuples DP: out[id] = number of tuples
+  /// represented by the subtree rooted at union id, accumulated in double
+  /// (exact below 2^53). When `keep` is given (indexed by f-tree node id,
+  /// closed under parents), child slots whose node is masked out
+  /// contribute factor 1 — the count of the enumeration stream restricted
+  /// to kept frames (TupleEnumerator's visible_only mode). Unreachable
+  /// unions stay 0. Feeds the morsel planner in core/parallel_enumerate.h
+  /// and the output reservation of MaterializeVisible.
+  std::vector<double> SubtreeTupleCounts(
+      const std::vector<char>* keep = nullptr) const;
+
   /// Checks all representation invariants; throws FdbError on violation.
   void Validate() const;
 

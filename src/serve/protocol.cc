@@ -123,6 +123,8 @@ std::string FrameResponse(const ServeResponse& r) {
       return "ERR " + one_line(r.body) + "\n";
     case ServeStatus::kTimeout:
       return "TIMEOUT " + one_line(r.body) + "\n";
+    case ServeStatus::kBusy:
+      return "BUSY " + one_line(r.body) + "\n";
   }
   return "ERR unreachable\n";
 }

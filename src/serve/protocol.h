@@ -6,6 +6,8 @@
 //   OK <n>\n<body>      body is exactly n lines (result + stats line)
 //   ERR <message>\n     parse/evaluation error (message is one line)
 //   TIMEOUT <message>\n deadline exceeded before the result was ready
+//   BUSY <message>\n    rejected: the request queue is at its bound
+//                       (ServeOptions::max_queue) — retry later
 //
 // The body rendering is deterministic: identical queries on an identical
 // database produce byte-identical bodies regardless of thread interleaving
@@ -42,7 +44,7 @@ std::string NormalizeSql(const std::string& sql, const Catalog& catalog);
 std::string RenderResult(const Database& db, const FdbResult& res);
 
 /// Outcome status of one served request.
-enum class ServeStatus { kOk, kError, kTimeout };
+enum class ServeStatus { kOk, kError, kTimeout, kBusy };
 
 /// One served response plus serve-path metadata (not part of the rendered
 /// body, so coalesced/cached answers stay byte-identical to cold ones).

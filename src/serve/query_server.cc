@@ -60,10 +60,21 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
     auto it = open_.find(signature);
     if (it != open_.end()) {
       // Batching front door: identical normalised SQL coalesces onto the
-      // already-queued evaluation.
+      // already-queued evaluation. Always admitted — it adds no queue
+      // pressure, so it bypasses the max_queue bound.
       waiter.coalesced = true;
       ++coalesced_;
       it->second->waiters.push_back(std::move(waiter));
+      return future;
+    }
+    if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue) {
+      // Admission control: opening another evaluation group would exceed
+      // the configured queue bound — shed the request now rather than
+      // growing an unbounded backlog.
+      ++rejected_;
+      waiter.promise.set_value(ServeResponse{
+          ServeStatus::kBusy, "server overloaded: request queue is full",
+          false, false});
       return future;
     }
     auto group = std::make_unique<Group>();
@@ -204,6 +215,7 @@ ServerStats QueryServer::stats() const {
     s.coalesced = coalesced_;
     s.errors = errors_;
     s.timeouts = timeouts_;
+    s.rejected = rejected_;
   }
   s.plan_cache = cache_.stats();
   return s;

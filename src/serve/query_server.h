@@ -54,6 +54,11 @@ struct ServeOptions {
   int num_workers = 4;               ///< worker threads executing queries
   size_t plan_cache_capacity = 64;   ///< LRU bound on cached plans
   double default_deadline_seconds = 0.0;  ///< <= 0: no deadline
+  /// Admission control: maximum queued evaluation groups (0 = unbounded).
+  /// A request that would open a group beyond the bound is rejected with
+  /// BUSY immediately; requests that coalesce onto an already-queued
+  /// group are always admitted (they add no queue pressure).
+  size_t max_queue = 0;
   EngineOptions engine;              ///< forwarded to the shared Engine
 };
 
@@ -64,6 +69,7 @@ struct ServerStats {
   uint64_t coalesced = 0;  ///< requests answered by another's evaluation
   uint64_t errors = 0;     ///< requests answered ERR
   uint64_t timeouts = 0;   ///< requests answered TIMEOUT
+  uint64_t rejected = 0;   ///< requests answered BUSY (queue at max_queue)
   PlanCacheStats plan_cache;
 };
 
@@ -130,7 +136,7 @@ class QueryServer {
   std::unordered_map<std::string, Group*> open_;  // signature -> queued group
   bool stopping_ = false;
   uint64_t received_ = 0, executed_ = 0, coalesced_ = 0, errors_ = 0,
-           timeouts_ = 0;
+           timeouts_ = 0, rejected_ = 0;
 
   std::vector<std::thread> workers_;
 };

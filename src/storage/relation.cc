@@ -35,6 +35,14 @@ void Relation::AddTuple(std::span<const Value> tuple) {
   sort_order_.clear();
 }
 
+void Relation::AppendRows(std::span<const Value> values) {
+  FDB_CHECK_MSG(arity() > 0, "AppendRows on a nullary relation");
+  FDB_CHECK_MSG(values.size() % arity() == 0,
+                "AppendRows size must be a multiple of the arity");
+  data_.insert(data_.end(), values.begin(), values.end());
+  sort_order_.clear();
+}
+
 void Relation::SortByColumns(const std::vector<size_t>& cols) {
   const size_t k = arity();
   if (k == 0) return;

@@ -38,6 +38,11 @@ class Relation {
 
   /// Appends one tuple; `tuple.size()` must equal arity().
   void AddTuple(std::span<const Value> tuple);
+
+  /// Bulk-appends `values.size() / arity()` rows stored row-major (the
+  /// merge step of parallel enumeration sinks). `values.size()` must be a
+  /// multiple of arity(), which must be positive.
+  void AppendRows(std::span<const Value> values);
   void AddTuple(std::initializer_list<Value> tuple) {
     AddTuple(std::span<const Value>(tuple.begin(), tuple.size()));
   }

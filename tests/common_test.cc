@@ -10,6 +10,7 @@
 #include "common/dictionary.h"
 #include "common/rng.h"
 #include "common/str.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 
 namespace fdb {
@@ -192,6 +193,89 @@ TEST(Check, ThrowsWithMessage) {
   } catch (const FdbError& e) {
     EXPECT_NE(std::string(e.what()).find("broken invariant"),
               std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool (runs under ThreadSanitizer in CI alongside this suite)
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForSmallAndEmptyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForMaxThreadsOneRunsOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_caller{0};
+  pool.ParallelFor(
+      100,
+      [&](size_t) {
+        if (std::this_thread::get_id() != caller) off_caller.fetch_add(1);
+      },
+      /*max_threads=*/1);
+  EXPECT_EQ(off_caller.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t i) {
+                                  if (i == 37) throw FdbError("boom");
+                                }),
+               FdbError);
+  // The pool survives and stays usable.
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  EXPECT_GE(ThreadPool::Shared().size(), 1);
+  std::atomic<int> calls{0};
+  ThreadPool::Shared().ParallelFor(64, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ThreadPool, ConcurrentParallelForsFromManyThreads) {
+  // Several caller threads sharing one pool: every loop must still cover
+  // its own range exactly (the claim state is per-call).
+  ThreadPool pool(3);
+  constexpr int kCallers = 6;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<size_t>> sums(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(100, [&](size_t i) { sums[c].fetch_add(i + 1); });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), 20u * (100u * 101u / 2u));
   }
 }
 

@@ -338,6 +338,96 @@ TEST(QueryServer, CoalescesIdenticalQueries) {
   EXPECT_TRUE(saw_coalescing);
 }
 
+TEST(QueryServer, BoundedQueueRejectsOverloadWithBusy) {
+  // Same slow-join shape as the coalescing test: one worker is pinned on
+  // an expensive head query while distinct requests pile up behind a
+  // max_queue=2 bound — the overflow must be shed with BUSY immediately.
+  Database db;
+  RelId a = db.CreateRelation("A", {"x", "y"});
+  RelId b = db.CreateRelation("B", {"y2", "z"});
+  constexpr int64_t kRows = 120'000;
+  for (int64_t i = 0; i < kRows; ++i) {
+    db.relation(a).AddTuple({i, (i * 131) % 50});
+    db.relation(b).AddTuple({(i * 137) % 50, i});
+  }
+  ServeOptions opts = Workers(1);
+  opts.max_queue = 2;
+  QueryServer server(&db, opts);
+
+  std::future<ServeResponse> head =
+      server.Submit("SELECT COUNT(*) FROM A, B WHERE y = y2");
+  constexpr int kFlood = 24;
+  std::vector<std::future<ServeResponse>> flood;
+  flood.reserve(kFlood);
+  for (int i = 0; i < kFlood; ++i) {
+    // Distinct signatures: each opens its own evaluation group.
+    flood.push_back(
+        server.Submit("SELECT * FROM A WHERE x = " + std::to_string(i) +
+                      " AND x = " + std::to_string(i + 1)));
+  }
+  // Identical SQL to a queued group coalesces past a full queue: it adds
+  // no queue pressure, so admission control must not shed it. One of the
+  // first two flood statements is still queued while the worker grinds
+  // through the head query.
+  std::vector<std::future<ServeResponse>> dup;
+  for (int i = 0; i < 2; ++i) {
+    dup.push_back(server.Submit("SELECT * FROM A WHERE x = " +
+                                std::to_string(i) + " AND x = " +
+                                std::to_string(i + 1)));
+  }
+
+  EXPECT_EQ(static_cast<int>(head.get().status),
+            static_cast<int>(ServeStatus::kOk));
+  uint64_t busy = 0;
+  for (auto& f : flood) {
+    ServeResponse r = f.get();
+    if (r.status == ServeStatus::kBusy) {
+      ++busy;
+      EXPECT_NE(r.body.find("queue is full"), std::string::npos);
+    } else {
+      EXPECT_EQ(static_cast<int>(r.status),
+                static_cast<int>(ServeStatus::kOk));
+    }
+  }
+  uint64_t dup_busy = 0, dup_coalesced = 0;
+  for (auto& f : dup) {
+    ServeResponse r = f.get();
+    if (r.status == ServeStatus::kBusy) ++dup_busy;
+    if (r.coalesced) ++dup_coalesced;
+  }
+  // flood[0] is admitted in every interleaving and stays queued while the
+  // worker grinds the head query, so its duplicate must have coalesced
+  // rather than been shed.
+  EXPECT_GE(dup_coalesced, 1u);
+  // The head group may or may not have been dequeued when the flood hit,
+  // so at most 3 groups ever fit; everything else must have been shed.
+  EXPECT_GE(busy, static_cast<uint64_t>(kFlood) - 3);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, busy + dup_busy);
+  EXPECT_EQ(stats.received,
+            static_cast<uint64_t>(kFlood) + 1 + dup.size());
+  EXPECT_EQ(stats.coalesced, dup_coalesced);
+  // Rejected requests are never evaluated or double-counted elsewhere.
+  EXPECT_EQ(stats.executed + stats.coalesced + stats.rejected,
+            stats.received);
+}
+
+TEST(QueryServer, UnboundedQueueNeverRejects) {
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(2));  // max_queue = 0 (default)
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(
+        server.Submit("SELECT * FROM Orders WHERE oid = " +
+                      std::to_string(i)));
+  }
+  for (auto& f : futures) {
+    EXPECT_NE(static_cast<int>(f.get().status),
+              static_cast<int>(ServeStatus::kBusy));
+  }
+  EXPECT_EQ(server.stats().rejected, 0u);
+}
+
 TEST(QueryServer, ExpiredDeadlineTimesOutWithoutEvaluation) {
   auto db = MakeGroceryDb();
   QueryServer server(db.get(), Workers(1));
@@ -385,6 +475,10 @@ TEST(Protocol, FrameResponse) {
   EXPECT_EQ(FrameResponse(ServeResponse{ServeStatus::kTimeout,
                                         "deadline exceeded", false, false}),
             "TIMEOUT deadline exceeded\n");
+  EXPECT_EQ(FrameResponse(ServeResponse{
+                ServeStatus::kBusy, "server overloaded: request queue is full",
+                false, false}),
+            "BUSY server overloaded: request queue is full\n");
 }
 
 }  // namespace
