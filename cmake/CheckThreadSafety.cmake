@@ -1,0 +1,39 @@
+# Configure-time proof that clang Thread Safety Analysis is actually armed.
+#
+# Two try_compile probes against src/common/{thread_annotations,mutex}.h:
+#   * tsa_probe_ok.cc      locks correctly            -> must compile
+#   * tsa_probe_violation.cc reads GUARDED_BY unlocked -> must NOT compile
+#
+# If the violation probe compiles, the -Werror=thread-safety build would be
+# green while checking nothing (wrong compiler, macro expansion broken,
+# flags dropped); fail the configure instead of shipping a false green.
+
+set(_tsa_flags "-std=c++20 -Wthread-safety -Werror=thread-safety")
+set(_tsa_dir "${CMAKE_CURRENT_SOURCE_DIR}/cmake/tsa_probe")
+
+try_compile(FDB_TSA_OK_COMPILES
+            "${CMAKE_BINARY_DIR}/tsa_probe_ok"
+            "${_tsa_dir}/tsa_probe_ok.cc"
+            COMPILE_DEFINITIONS "${_tsa_flags}"
+            CMAKE_FLAGS
+              "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src")
+if(NOT FDB_TSA_OK_COMPILES)
+  message(FATAL_ERROR "Thread-safety probe: the correctly locked program "
+          "failed to compile under -Werror=thread-safety — the annotated "
+          "mutex wrappers are broken for this compiler.")
+endif()
+
+try_compile(FDB_TSA_VIOLATION_COMPILES
+            "${CMAKE_BINARY_DIR}/tsa_probe_violation"
+            "${_tsa_dir}/tsa_probe_violation.cc"
+            COMPILE_DEFINITIONS "${_tsa_flags}"
+            CMAKE_FLAGS
+              "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src")
+if(FDB_TSA_VIOLATION_COMPILES)
+  message(FATAL_ERROR "Thread-safety probe: a GUARDED_BY violation "
+          "compiled cleanly — Thread Safety Analysis is not armed "
+          "(check compiler and flags); refusing a false-green build.")
+endif()
+
+message(STATUS "Thread Safety Analysis armed: GUARDED_BY violation probe "
+        "correctly rejected")

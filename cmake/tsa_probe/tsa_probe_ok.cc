@@ -1,0 +1,32 @@
+// Thread-safety probe (positive): correctly locked access to a GUARDED_BY
+// field must compile under -Werror=thread-safety. See
+// cmake/CheckThreadSafety.cmake.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    fdb::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() EXCLUDES(mu_) {
+    fdb::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  fdb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.value() == 1 ? 0 : 1;
+}

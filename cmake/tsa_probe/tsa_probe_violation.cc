@@ -1,0 +1,31 @@
+// Thread-safety probe (negative): reading a GUARDED_BY field without its
+// mutex MUST fail to compile under -Werror=thread-safety — if this file
+// builds, the analysis is not armed. See cmake/CheckThreadSafety.cmake.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    fdb::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value_unlocked() {
+    return value_;  // GUARDED_BY violation: mu_ not held
+  }
+
+ private:
+  fdb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.value_unlocked();
+}

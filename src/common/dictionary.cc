@@ -1,18 +1,16 @@
 #include "common/dictionary.h"
 
-#include <mutex>
-
 namespace fdb {
 
 Value Dictionary::Intern(const std::string& s) {
   {
     // Fast path: already interned. Most Intern calls during serving hit
     // literals that exist in the data, so try a shared lock first.
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = codes_.find(s);
     if (it != codes_.end()) return it->second;
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = codes_.find(s);  // re-check: another thread may have won
   if (it != codes_.end()) return it->second;
   Value code = static_cast<Value>(strings_.size());
@@ -22,13 +20,13 @@ Value Dictionary::Intern(const std::string& s) {
 }
 
 Value Dictionary::Lookup(const std::string& s) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = codes_.find(s);
   return it == codes_.end() ? -1 : it->second;
 }
 
 const std::string& Dictionary::Decode(Value code) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   FDB_CHECK_MSG(ContainsLocked(code), "dictionary code out of range");
   return strings_[static_cast<size_t>(code)];
 }

@@ -7,11 +7,11 @@
 #define FDB_COMMON_DICTIONARY_H_
 
 #include <deque>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace fdb {
@@ -34,26 +34,28 @@ class Dictionary {
   // its object). They lock the source, but the destination must not be in
   // concurrent use — move a database before serving starts, not during.
   Dictionary(const Dictionary& o) {
-    std::shared_lock lock(o.mu_);
+    ReaderMutexLock lock(o.mu_);
     codes_ = o.codes_;
     strings_ = o.strings_;
   }
   Dictionary(Dictionary&& o) {  // not noexcept: locking the source may throw
-    std::unique_lock lock(o.mu_);
+    WriterMutexLock lock(o.mu_);
     codes_ = std::move(o.codes_);
     strings_ = std::move(o.strings_);
   }
-  Dictionary& operator=(const Dictionary& o) {
+  Dictionary& operator=(const Dictionary& o) EXCLUDES(mu_, o.mu_) {
     if (this != &o) {
-      std::shared_lock lock(o.mu_);
+      ReaderMutexLock lock(o.mu_);
+      WriterMutexLock self(mu_);
       codes_ = o.codes_;
       strings_ = o.strings_;
     }
     return *this;
   }
-  Dictionary& operator=(Dictionary&& o) {
+  Dictionary& operator=(Dictionary&& o) EXCLUDES(mu_, o.mu_) {
     if (this != &o) {
-      std::unique_lock lock(o.mu_);
+      WriterMutexLock lock(o.mu_);
+      WriterMutexLock self(mu_);
       codes_ = std::move(o.codes_);
       strings_ = std::move(o.strings_);
     }
@@ -61,33 +63,34 @@ class Dictionary {
   }
 
   /// Returns the code for `s`, inserting it if new.
-  Value Intern(const std::string& s);
+  Value Intern(const std::string& s) EXCLUDES(mu_);
 
   /// Returns the code for `s` or -1 if absent.
-  Value Lookup(const std::string& s) const;
+  Value Lookup(const std::string& s) const EXCLUDES(mu_);
 
   /// Returns the string for a code; throws FdbError if out of range. The
   /// reference remains valid for the lifetime of the dictionary.
-  const std::string& Decode(Value code) const;
+  const std::string& Decode(Value code) const EXCLUDES(mu_);
 
-  bool Contains(Value code) const {
-    std::shared_lock lock(mu_);
+  bool Contains(Value code) const EXCLUDES(mu_) {
+    ReaderMutexLock lock(mu_);
     return ContainsLocked(code);
   }
 
-  size_t size() const {
-    std::shared_lock lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(mu_);
     return strings_.size();
   }
 
  private:
-  bool ContainsLocked(Value code) const {
+  bool ContainsLocked(Value code) const REQUIRES_SHARED(mu_) {
     return code >= 0 && static_cast<size_t>(code) < strings_.size();
   }
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, Value> codes_;
-  std::deque<std::string> strings_;  // deque: Decode refs survive growth
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, Value> codes_ GUARDED_BY(mu_);
+  /// deque: Decode refs survive growth
+  std::deque<std::string> strings_ GUARDED_BY(mu_);
 };
 
 }  // namespace fdb

@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros expand to clang's `thread_safety` attributes, turning the
+// locking contracts of the concurrent subsystems (serve/plan_cache,
+// serve/query_server, common/thread_pool, common/dictionary,
+// lp/edge_cover) into compile-time checkable declarations: every guarded
+// field names its mutex (GUARDED_BY), every locking function its contract
+// (REQUIRES / ACQUIRE / RELEASE / EXCLUDES). The `thread-safety` CMake
+// preset builds with -Werror=thread-safety, so a field access outside its
+// mutex or a lock-order violation is a build break, not a TSan lottery.
+//
+// On compilers without the attribute (gcc, MSVC) every macro expands to
+// nothing; the annotations are documentation there and cost nothing.
+//
+// The std:: synchronisation primitives are not annotated under libstdc++,
+// so the analysis only sees locking done through the annotated wrappers in
+// common/mutex.h — annotate fields with the wrapper types, not raw
+// std::mutex.
+#ifndef FDB_COMMON_THREAD_ANNOTATIONS_H_
+#define FDB_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define FDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FDB_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex", "shared_mutex").
+#define CAPABILITY(x) FDB_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY FDB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// A data member that may only be accessed while holding `x`.
+#define GUARDED_BY(x) FDB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// A pointer member whose *pointee* may only be accessed while holding `x`.
+#define PT_GUARDED_BY(x) FDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities
+/// exclusively / shared.
+#define REQUIRES(...) \
+  FDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  FDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (exclusively / shared) and
+/// does not release them before returning.
+#define ACQUIRE(...) FDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  FDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held exclusively /
+/// shared / either) on entry.
+#define RELEASE(...) FDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  FDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  FDB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the listed
+/// capabilities (prevents self-deadlock on non-recursive mutexes).
+#define EXCLUDES(...) FDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  FDB_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(b, ...) \
+  FDB_THREAD_ANNOTATION_(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) FDB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) \
+  FDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  FDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function is deliberately unchecked. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // FDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -19,10 +19,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -30,19 +30,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     FDB_CHECK_MSG(!stopping_, "Submit on a stopped thread pool");
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -65,10 +65,10 @@ struct ForState {
   const size_t n;
   std::atomic<size_t> next{0};
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t active = 0;  ///< helpers currently inside fn
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  size_t active GUARDED_BY(mu) = 0;  ///< helpers currently inside fn
+  std::exception_ptr error GUARDED_BY(mu);
 
   // Claims and runs indices until exhausted (or an error aborts the loop).
   void Drain() {
@@ -78,7 +78,7 @@ struct ForState {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (error == nullptr) error = std::current_exception();
         next.store(n);  // abort: stop claiming further indices
       }
@@ -104,15 +104,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   for (size_t h = 0; h < helpers; ++h) {
     Submit([state] {
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         ++state->active;
       }
       state->Drain();
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         --state->active;
       }
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     });
   }
 
@@ -120,10 +120,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   // wait for helpers that are mid-index (claimed-but-unstarted helpers
   // will find the counter exhausted whenever they fire).
   state->Drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->active == 0 && state->next.load() >= state->n;
-  });
+  MutexLock lock(state->mu);
+  while (state->active != 0 || state->next.load() < state->n) {
+    state->cv.Wait(state->mu);
+  }
   if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 

@@ -18,13 +18,14 @@
 #ifndef FDB_COMMON_THREAD_POOL_H_
 #define FDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fdb {
 
@@ -40,7 +41,7 @@ class ThreadPool {
   int size() const { return static_cast<int>(threads_.size()); }
 
   /// Queues one task for the workers. Tasks must not throw.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) EXCLUDES(mu_);
 
   /// Runs fn(i) for every i in [0, n) on up to `max_threads` threads
   /// (0 = caller plus every pool worker), including the calling thread.
@@ -55,12 +56,14 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Written only by the constructor (before any concurrency) and joined by
+  /// the destructor; size() reads are safe without the mutex.
   std::vector<std::thread> threads_;
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <mutex>
 
 #include "common/types.h"
 #include "lp/simplex.h"
@@ -63,7 +62,7 @@ double EdgeCoverSolver::Solve(std::vector<uint64_t> class_covers) {
   }
 
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = cache_.find(kept);
     if (it != cache_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -75,7 +74,7 @@ double EdgeCoverSolver::Solve(std::vector<uint64_t> class_covers) {
   // first value (both are the same optimum).
   solves_.fetch_add(1, std::memory_order_relaxed);
   double v = FractionalEdgeCoverValue(kept);
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   cache_.emplace(std::move(kept), v);
   return v;
 }

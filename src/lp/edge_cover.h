@@ -17,12 +17,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/attrset.h"
 #include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fdb {
 
@@ -44,18 +45,19 @@ double FractionalEdgeCoverValue(const std::vector<uint64_t>& class_covers);
 /// solve_count + hit_count == number of Solve calls, always.
 class EdgeCoverSolver {
  public:
-  double Solve(std::vector<uint64_t> class_covers);
+  double Solve(std::vector<uint64_t> class_covers) EXCLUDES(mu_);
 
-  size_t cache_size() const {
-    std::shared_lock lock(mu_);
+  size_t cache_size() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(mu_);
     return cache_.size();
   }
   uint64_t solve_count() const { return solves_.load(std::memory_order_relaxed); }
   uint64_t hit_count() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::vector<uint64_t>, double, VecHash64> cache_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::vector<uint64_t>, double, VecHash64> cache_
+      GUARDED_BY(mu_);
   std::atomic<uint64_t> solves_{0};
   std::atomic<uint64_t> hits_{0};
 };

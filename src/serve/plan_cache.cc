@@ -10,7 +10,7 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(
     const std::string& signature, uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(signature);
   if (it == index_.end()) {
     ++misses_;
@@ -30,7 +30,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(
 
 void PlanCache::Insert(const std::string& signature, uint64_t version,
                        std::shared_ptr<const CachedPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(signature);
   if (it != index_.end()) {
     it->second->version = version;
@@ -48,7 +48,7 @@ void PlanCache::Insert(const std::string& signature, uint64_t version,
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PlanCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -60,7 +60,7 @@ PlanCacheStats PlanCache::stats() const {
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "opt/ftree_search.h"
 #include "storage/query.h"
 
@@ -58,16 +59,16 @@ class PlanCache {
   /// `version`; nullptr otherwise. A present entry with a stale version is
   /// erased (counted as invalidation + miss).
   std::shared_ptr<const CachedPlan> Lookup(const std::string& signature,
-                                           uint64_t version);
+                                           uint64_t version) EXCLUDES(mu_);
 
   /// Publishes a plan, evicting the least-recently-used entry if the cache
   /// is full. Re-inserting an existing key replaces the entry (last writer
   /// wins — both racers hold equivalent plans).
   void Insert(const std::string& signature, uint64_t version,
-              std::shared_ptr<const CachedPlan> plan);
+              std::shared_ptr<const CachedPlan> plan) EXCLUDES(mu_);
 
-  PlanCacheStats stats() const;
-  size_t size() const;
+  PlanCacheStats stats() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
  private:
@@ -77,11 +78,15 @@ class PlanCache {
     std::shared_ptr<const CachedPlan> plan;
   };
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+  mutable Mutex mu_;
+  const size_t capacity_;  // immutable after construction, lock-free reads
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fdb

@@ -39,7 +39,7 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
     signature = NormalizeSql(sql, db_->catalog());
   } catch (const FdbError& e) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++received_;
       ++errors_;
     }
@@ -49,7 +49,7 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++received_;
     if (stopping_) {
       ++errors_;
@@ -84,7 +84,7 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
     open_.emplace(group->signature, group.get());
     queue_.push_back(std::move(group));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -97,8 +97,8 @@ void QueryServer::WorkerLoop() {
   for (;;) {
     std::unique_ptr<Group> group;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and drained
       group = std::move(queue_.front());
       queue_.pop_front();
@@ -125,7 +125,7 @@ void QueryServer::ExecuteGroup(Group& group) {
   }
   if (!expired.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       timeouts_ += expired.size();
     }
     for (Waiter& w : expired) {
@@ -196,7 +196,7 @@ void QueryServer::ExecuteGroup(Group& group) {
     outcomes.push_back(std::move(r));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++executed_;
     errors_ += delivered_errors;
     timeouts_ += delivered_timeouts;
@@ -209,7 +209,7 @@ void QueryServer::ExecuteGroup(Group& group) {
 ServerStats QueryServer::stats() const {
   ServerStats s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.received = received_;
     s.executed = executed_;
     s.coalesced = coalesced_;
@@ -225,7 +225,7 @@ void QueryServer::Shutdown() {
   std::vector<std::unique_ptr<Group>> drained;
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     // Drain unexecuted work so no future is left dangling.
     while (!queue_.empty()) {
@@ -238,7 +238,7 @@ void QueryServer::Shutdown() {
     // join only the threads they claimed (usually none for the loser).
     to_join.swap(workers_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }

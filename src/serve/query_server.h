@@ -31,12 +31,10 @@
 #ifndef FDB_SERVE_QUERY_SERVER_H_
 #define FDB_SERVE_QUERY_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -44,6 +42,8 @@
 
 #include "api/database.h"
 #include "api/engine.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/plan_cache.h"
 #include "serve/protocol.h"
 
@@ -88,20 +88,21 @@ class QueryServer {
   /// configured default (and 0 there means no deadline). The future is
   /// always fulfilled — with kError after Shutdown.
   std::future<ServeResponse> Submit(const std::string& sql,
-                                    double deadline_seconds = 0.0);
+                                    double deadline_seconds = 0.0)
+      EXCLUDES(mu_);
 
   /// Blocking convenience: Submit + wait.
   ServeResponse Query(const std::string& sql, double deadline_seconds = 0.0);
 
   /// Snapshot of the server counters, including the plan cache's.
-  ServerStats stats() const;
+  ServerStats stats() const EXCLUDES(mu_);
 
   const Database& db() const { return *db_; }
   const PlanCache& plan_cache() const { return cache_; }
 
   /// Stops accepting work, drains the queue (answering kError) and joins
   /// the workers. Idempotent; also run by the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -122,23 +123,31 @@ class QueryServer {
     std::vector<Waiter> waiters;
   };
 
-  void WorkerLoop();
-  void ExecuteGroup(Group& group);
+  void WorkerLoop() EXCLUDES(mu_);
+  void ExecuteGroup(Group& group) EXCLUDES(mu_);
 
   Database* db_;
   ServeOptions opts_;
   Engine engine_;
   PlanCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Group>> queue_;
-  std::unordered_map<std::string, Group*> open_;  // signature -> queued group
-  bool stopping_ = false;
-  uint64_t received_ = 0, executed_ = 0, coalesced_ = 0, errors_ = 0,
-           timeouts_ = 0, rejected_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::unique_ptr<Group>> queue_ GUARDED_BY(mu_);
+  /// signature -> queued group (the pointee is owned by queue_ and only
+  /// mutated under mu_ while the group is queued).
+  std::unordered_map<std::string, Group*> open_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  uint64_t received_ GUARDED_BY(mu_) = 0;
+  uint64_t executed_ GUARDED_BY(mu_) = 0;
+  uint64_t coalesced_ GUARDED_BY(mu_) = 0;
+  uint64_t errors_ GUARDED_BY(mu_) = 0;
+  uint64_t timeouts_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ GUARDED_BY(mu_) = 0;
 
-  std::vector<std::thread> workers_;
+  /// Written by the constructor before workers exist and claimed under mu_
+  /// by Shutdown; workers never touch it.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 };
 
 }  // namespace fdb
