@@ -48,17 +48,21 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
     return future;
   }
 
+  // Rejection responses are delivered *after* mu_ is released: set_value
+  // wakes the client thread (and may run a continuation) — doing that
+  // under the lock lengthens the critical section for every worker and
+  // invites a lock-order inversion if the woken client immediately calls
+  // stats() or Submit. Decide under the lock, fulfil outside it.
+  const char* reject_reason = nullptr;
+  ServeStatus reject_status = ServeStatus::kError;
   {
     MutexLock lock(mu_);
     ++received_;
     if (stopping_) {
       ++errors_;
-      waiter.promise.set_value(ServeResponse{
-          ServeStatus::kError, "server is shutting down", false, false});
-      return future;
-    }
-    auto it = open_.find(signature);
-    if (it != open_.end()) {
+      reject_reason = "server is shutting down";
+      reject_status = ServeStatus::kError;
+    } else if (auto it = open_.find(signature); it != open_.end()) {
       // Batching front door: identical normalised SQL coalesces onto the
       // already-queued evaluation. Always admitted — it adds no queue
       // pressure, so it bypasses the max_queue bound.
@@ -66,23 +70,26 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
       ++coalesced_;
       it->second->waiters.push_back(std::move(waiter));
       return future;
-    }
-    if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue) {
+    } else if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue) {
       // Admission control: opening another evaluation group would exceed
       // the configured queue bound — shed the request now rather than
       // growing an unbounded backlog.
       ++rejected_;
-      waiter.promise.set_value(ServeResponse{
-          ServeStatus::kBusy, "server overloaded: request queue is full",
-          false, false});
-      return future;
+      reject_reason = "server overloaded: request queue is full";
+      reject_status = ServeStatus::kBusy;
+    } else {
+      auto group = std::make_unique<Group>();
+      group->raw_sql = sql;
+      group->signature = std::move(signature);
+      group->waiters.push_back(std::move(waiter));
+      open_.emplace(group->signature, group.get());
+      queue_.push_back(std::move(group));
     }
-    auto group = std::make_unique<Group>();
-    group->raw_sql = sql;
-    group->signature = std::move(signature);
-    group->waiters.push_back(std::move(waiter));
-    open_.emplace(group->signature, group.get());
-    queue_.push_back(std::move(group));
+  }
+  if (reject_reason != nullptr) {
+    waiter.promise.set_value(
+        ServeResponse{reject_status, reject_reason, false, false});
+    return future;
   }
   cv_.NotifyOne();
   return future;
