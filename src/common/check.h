@@ -1,0 +1,69 @@
+// Contract-check macros: FDB_ASSERT (always on) and FDB_DCHECK (debug /
+// FDB_VALIDATE builds only).
+//
+// These complement the FDB_CHECK/FDB_CHECK_MSG macros in common/types.h,
+// which *throw FdbError* and guard recoverable precondition violations
+// (malformed queries, corrupted input files — things a serve-path worker
+// catches and answers as an error response). FDB_ASSERT/FDB_DCHECK guard
+// *programming errors*: internal invariants whose violation means the
+// process state can no longer be trusted, so they print the failed
+// expression with file:line and message to stderr and abort() — no stack
+// unwinding that could run destructors over corrupted state, and a core
+// dump / sanitizer report pointing at the exact contract that broke.
+//
+// Use FDB_ASSERT for cheap checks worth keeping in release builds;
+// FDB_DCHECK for checks that are too hot for release (per-entry loops,
+// operator inner loops) — it compiles to nothing unless NDEBUG is unset or
+// FDB_VALIDATE is defined (the debug/asan presets define it).
+#ifndef FDB_COMMON_CHECK_H_
+#define FDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fdb {
+namespace internal {
+
+[[noreturn]] inline void AssertFailure(const char* expr, const char* file,
+                                       int line, const char* msg) {
+  // fprintf, not iostreams: this must work mid-corruption, with no
+  // allocation and no locale machinery.
+  std::fprintf(stderr, "FDB_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               (msg != nullptr) ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fdb
+
+/// Always-on contract check; aborts with expression + file:line + message.
+#define FDB_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::fdb::internal::AssertFailure(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define FDB_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::fdb::internal::AssertFailure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only contract check: active when NDEBUG is unset (Debug builds)
+/// or FDB_VALIDATE is defined; compiles to nothing otherwise. The expression
+/// is not evaluated when disabled — keep it side-effect free.
+#if !defined(NDEBUG) || defined(FDB_VALIDATE)
+#define FDB_DCHECK(expr) FDB_ASSERT(expr)
+#define FDB_DCHECK_MSG(expr, msg) FDB_ASSERT_MSG(expr, msg)
+#else
+#define FDB_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#define FDB_DCHECK_MSG(expr, msg) \
+  do {                            \
+  } while (0)
+#endif
+
+#endif  // FDB_COMMON_CHECK_H_

@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/enumerate.h"
 #include "core/ops.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -563,6 +564,7 @@ GroupedRep GroupByAggregate(const FRep& in, AttrSet group_attrs,
 
   if (cur.empty()) {
     out.rep = FRep{std::move(gt)};
+    FDB_VALIDATE_GROUPED(out);
     return out;
   }
 
@@ -698,6 +700,7 @@ GroupedRep GroupByAggregate(const FRep& in, AttrSet group_attrs,
     grep.roots().push_back(rebuild(rebuild, cur.roots()[i]));
   }
   out.rep = std::move(grep);
+  FDB_VALIDATE_GROUPED(out);
   return out;
 }
 

@@ -215,6 +215,15 @@ class FRep {
 
   size_t NumUnions() const { return headers_.size(); }
 
+  // Read-only arena geometry, for the deep structural checker
+  // (core/validate.h): it must bounds-check every header window against the
+  // arenas *before* dereferencing values/children through UnionRef.
+  const UnionHeader& HeaderOf(uint32_t id) const { return headers_[id]; }
+  size_t ValueArenaSize() const { return values_.size(); }
+  size_t ChildArenaSize() const { return children_.size(); }
+  /// Builders currently open (non-zero means arenas may still move).
+  size_t OpenBuilders() const { return scratch_top_; }
+
   /// Number of singletons (the paper's |E|): every value of a union counts
   /// once per *visible* attribute of its class.
   size_t NumSingletons() const;

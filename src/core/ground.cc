@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "core/ops_common.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -174,6 +175,7 @@ FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
     }
     out.roots().push_back(rid);
   }
+  FDB_VALIDATE_REP(out);
   return out;
 }
 

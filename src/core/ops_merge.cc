@@ -2,6 +2,7 @@
 
 #include "core/ops.h"
 #include "core/ops_common.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -153,6 +154,7 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
     }
     out.roots().push_back(nr);
   }
+  FDB_VALIDATE_REP(out);
   return out;
 }
 

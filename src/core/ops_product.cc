@@ -1,5 +1,6 @@
 #include "core/ops.h"
 #include "core/ops_common.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -68,6 +69,7 @@ FRep Product(const FRep& e1, const FRep& e2) {
     }
   } copier{e2, out, node_offset, memo2};
   for (uint32_t r : e2.roots()) out.roots().push_back(copier.Run(r));
+  FDB_VALIDATE_REP(out);
   return out;
 }
 

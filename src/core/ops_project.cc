@@ -2,6 +2,7 @@
 
 #include "core/ops.h"
 #include "core/ops_common.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -55,6 +56,7 @@ FRep RemoveInvisibleLeaf(const FRep& in, int n) {
     return nu.Finish();
   };
   for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
+  FDB_VALIDATE_REP(out);
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/ops.h"
 #include "core/ops_common.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -115,6 +116,7 @@ FRep PushUp(const FRep& in, AttrId b_attr) {
   };
 
   for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
+  FDB_VALIDATE_REP(out);
   return out;
 }
 
@@ -130,7 +132,10 @@ FRep Normalize(const FRep& in) {
         break;
       }
     }
-    if (pick == -1) return cur;
+    if (pick == -1) {
+      FDB_VALIDATE_REP(cur);
+      return cur;
+    }
     cur = PushUp(cur, t.node(pick).attrs.Min());
   }
 }
@@ -236,6 +241,7 @@ FRep Swap(const FRep& in, AttrId a_attr, AttrId b_attr) {
   };
 
   for (uint32_t r : in.roots()) out.roots().push_back(rec(rec, r));
+  FDB_VALIDATE_REP(out);
   return out;
 }
 

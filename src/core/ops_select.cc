@@ -1,5 +1,6 @@
 #include "core/ops.h"
 #include "core/ops_common.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -71,6 +72,7 @@ FRep SelectConst(const FRep& in, AttrId attr, CmpOp op, Value c) {
     out.roots().push_back(nr);
   }
   if (op == CmpOp::kEq) return Normalize(out);
+  FDB_VALIDATE_REP(out);
   return out;
 }
 

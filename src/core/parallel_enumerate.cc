@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -151,9 +152,11 @@ MorselPlan PlanMorsels(const FRep& rep, bool visible_only,
     keep_ptr = &keep;
   }
   std::vector<double> counts = rep.SubtreeTupleCounts(keep_ptr);
-  return PlanSizedMorsels(rep, keep_ptr, counts,
-                          RestrictedTotal(rep, keep_ptr, counts),
-                          target_tuples);
+  MorselPlan plan = PlanSizedMorsels(rep, keep_ptr, counts,
+                                     RestrictedTotal(rep, keep_ptr, counts),
+                                     target_tuples);
+  FDB_VALIDATE_MORSELS(rep, visible_only, plan);
+  return plan;
 }
 
 ParallelEnumerator::ParallelEnumerator(const FRep& rep, EnumerateOptions opts,
@@ -193,6 +196,7 @@ ParallelEnumerator::ParallelEnumerator(const FRep& rep, EnumerateOptions opts,
     plan_.morsels.push_back(Morsel{{}, plan_.est_total});
     threads_ = 1;
   }
+  FDB_VALIDATE_MORSELS(rep, visible_only, plan_);
 }
 
 void ParallelEnumerator::Enumerate(

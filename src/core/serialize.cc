@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/str.h"
+#include "core/validate.h"
 
 namespace fdb {
 
@@ -247,6 +248,7 @@ FRep ReadFRep(std::istream& in) {
     }
   }
   rep.Validate();
+  FDB_VALIDATE_REP(rep);
   return rep;
 }
 
