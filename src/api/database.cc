@@ -10,10 +10,9 @@ RelId Database::CreateRelation(const std::string& name,
   for (const std::string& spec : column_specs) {
     bool is_string = false;
     std::string attr_name = spec;
-    if (auto p = spec.rfind(":str");
-        p != std::string::npos && p == spec.size() - 4) {
+    if (spec.ends_with(":str")) {
       is_string = true;
-      attr_name = spec.substr(0, p);
+      attr_name = spec.substr(0, spec.size() - 4);
     }
     int existing = catalog_.FindAttribute(attr_name);
     if (existing >= 0) {

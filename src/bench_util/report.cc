@@ -184,12 +184,12 @@ Report::Report(std::string bench_name, int argc, char** argv)
 
 void Report::BeginSection(std::ostream& os, const std::string& title) {
   Banner(os, title);
-  sections_.push_back(Section{title, {}});
+  sections_.emplace_back(title);
 }
 
 void Report::Emit(std::ostream& os, const Table& table) {
   table.Print(os);
-  if (sections_.empty()) sections_.push_back(Section{"", {}});
+  if (sections_.empty()) sections_.emplace_back();
   sections_.back().tables.push_back(table);
 }
 

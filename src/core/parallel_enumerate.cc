@@ -72,7 +72,7 @@ void SplitFrame(PlanCtx& c, size_t frame, uint32_t union_id, double mult) {
     if (end > begin) {
       Morsel m;
       m.bounds = c.prefix;
-      m.bounds.push_back(EntryBound{begin, end});
+      m.bounds.emplace_back(begin, end);
       m.est_tuples = acc;
       c.out->push_back(std::move(m));
     }
@@ -88,7 +88,7 @@ void SplitFrame(PlanCtx& c, size_t frame, uint32_t union_id, double mult) {
     if (oversized && frame + 1 < c.frames.size() &&
         c.prefix.size() + 1 < kMaxChainDepth) {
       flush(e);
-      c.prefix.push_back(EntryBound{e, e + 1});
+      c.prefix.emplace_back(e, e + 1);
       const uint32_t nu = ResolveUnion(c, frame + 1);
       const double cn = c.counts[nu];
       SplitFrame(c, frame + 1, nu, cn > 0 ? w / cn : w);

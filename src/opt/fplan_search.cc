@@ -54,7 +54,7 @@ FPlanSearchResult FindOptimalFPlan(
     auto it = index.find(key);
     if (it != index.end()) return it->second;
     int id = static_cast<int>(states.size());
-    states.push_back(State{});
+    states.emplace_back();
     states.back().tree = std::move(t);
     states.back().goal = AllSatisfied(states.back().tree, equalities);
     index.emplace(std::move(key), id);

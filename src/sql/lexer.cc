@@ -10,7 +10,7 @@ std::vector<Token> Lex(const std::string& in) {
   size_t i = 0;
   const size_t n = in.size();
   auto push = [&](TokenKind k, std::string text, size_t pos, int64_t v = 0) {
-    out.push_back(Token{k, std::move(text), v, pos});
+    out.emplace_back(k, std::move(text), v, pos);
   };
   while (i < n) {
     char c = in[i];

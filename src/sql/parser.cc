@@ -198,10 +198,10 @@ class Parser {
         q_.equalities.emplace_back(la, ra);
       } else if (r.kind == TokenKind::kInt) {
         Advance();
-        q_.const_preds.push_back(ConstPred{la, op, r.value});
+        q_.const_preds.emplace_back(la, op, r.value);
       } else if (r.kind == TokenKind::kString) {
         Advance();
-        q_.const_preds.push_back(ConstPred{la, op, dict_->Intern(r.text)});
+        q_.const_preds.emplace_back(la, op, dict_->Intern(r.text));
       } else {
         Fail("attribute or constant", r);
       }
@@ -225,7 +225,7 @@ class Parser {
         case CmpOp::kGe: flipped = CmpOp::kLe; break;
         default: break;
       }
-      q_.const_preds.push_back(ConstPred{ra, flipped, v});
+      q_.const_preds.emplace_back(ra, flipped, v);
       return;
     }
     Fail("condition", l);

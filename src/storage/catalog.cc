@@ -10,7 +10,7 @@ AttrId Catalog::AddAttribute(const std::string& name, bool is_string) {
   FDB_CHECK_MSG(attr_by_name_.find(name) == attr_by_name_.end(),
                 "duplicate attribute name: " + name);
   AttrId id = static_cast<AttrId>(attrs_.size());
-  attrs_.push_back(AttrInfo{name, is_string});
+  attrs_.emplace_back(name, is_string);
   attr_by_name_.emplace(name, id);
   return id;
 }
@@ -21,7 +21,7 @@ RelId Catalog::AddRelation(const std::string& name, std::vector<AttrId> attrs) {
                 "duplicate relation name: " + name);
   for (AttrId a : attrs) FDB_CHECK_MSG(a < attrs_.size(), "unknown attribute id");
   RelId id = static_cast<RelId>(rels_.size());
-  rels_.push_back(RelInfo{name, std::move(attrs)});
+  rels_.emplace_back(name, std::move(attrs));
   rel_by_name_.emplace(name, id);
   return id;
 }

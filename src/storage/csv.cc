@@ -22,10 +22,9 @@ Relation ReadCsv(std::istream& in, const std::string& rel_name, char sep,
     FDB_CHECK_MSG(!field.empty(), "empty column name in CSV header");
     bool str_col = false;
     std::string name = field;
-    if (auto pos = field.rfind(":str"); pos != std::string::npos &&
-        pos == field.size() - 4) {
+    if (field.ends_with(":str")) {
       str_col = true;
-      name = field.substr(0, pos);
+      name = field.substr(0, field.size() - 4);
     }
     int existing = catalog->FindAttribute(name);
     AttrId id;
