@@ -20,6 +20,21 @@ if [ ! -d "$BENCH_DIR" ]; then
   echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
   exit 1
 fi
+# Refuse instrumented builds: BENCH_*.json from a sanitizer or
+# FDB_VALIDATE build would silently poison the perf trajectory (ASan ~2x,
+# TSan ~10x, deep validation adds O(|E|) passes per operator). The cache
+# check covers every way those flags can be set (preset, -D, cached).
+CACHE="$BUILD_DIR/CMakeCache.txt"
+if [ -f "$CACHE" ]; then
+  BAD=$(grep -E '^FDB_(SANITIZE|TSAN|UBSAN|VALIDATE):[^=]*=(ON|TRUE|1)$' \
+        "$CACHE" | cut -d: -f1 | tr '\n' ' ' || true)
+  if [ -n "$BAD" ]; then
+    echo "error: $BUILD_DIR is an instrumented build ($BAD)" >&2
+    echo "bench artifacts must come from an uninstrumented Release build:" >&2
+    echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+    exit 1
+  fi
+fi
 mkdir -p "$OUT_DIR"
 
 for b in abl_cost_models exp1_optimisation_flat exp2_optimisers \
