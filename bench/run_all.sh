@@ -37,6 +37,22 @@ if [ -f "$CACHE" ]; then
 fi
 mkdir -p "$OUT_DIR"
 
+# Parallel-speedup benches (exp8, the serve hammer) need real cores; on a
+# 1-core host their multi-thread rows measure scheduling overhead, not
+# speedup. Run them anyway (the artifacts stamp hardware_concurrency so
+# downstream tooling can discount them), but say so loudly.
+NPROC=$( (nproc || getconf _NPROCESSORS_ONLN) 2>/dev/null || echo 1)
+if [ "$NPROC" -le 1 ]; then
+  echo "" >&2
+  echo "*********************************************************" >&2
+  echo "** WARNING: this host reports only 1 CPU.              **" >&2
+  echo "** Multi-thread bench rows (exp7 hammer, exp8 speedup) **" >&2
+  echo "** will NOT show parallel speedup on this machine;     **" >&2
+  echo "** treat their thread-scaling columns as invalid.      **" >&2
+  echo "*********************************************************" >&2
+  echo "" >&2
+fi
+
 for b in abl_cost_models exp1_optimisation_flat exp2_optimisers \
          exp3_eval_flat exp4_eval_factorised exp5_one_to_many \
          exp6_group_aggregates exp7_serve exp8_parallel_enumerate; do

@@ -55,6 +55,7 @@ std::string StatsLine(const QueryServer& server) {
   os << "STATS received=" << s.received << " executed=" << s.executed
      << " coalesced=" << s.coalesced << " errors=" << s.errors
      << " timeouts=" << s.timeouts << " rejected=" << s.rejected
+     << " kernels_built=" << s.kernels_built
      << " plan_hits=" << s.plan_cache.hits
      << " plan_misses=" << s.plan_cache.misses
      << " plan_evictions=" << s.plan_cache.evictions

@@ -159,6 +159,17 @@ class Engine {
     return MaterializeVisible(res.rep, opts_.enumerate);
   }
 
+  /// Kernel-accelerated materialisation: identical output to the overload
+  /// above, but rows are emitted by a compiled enumeration kernel
+  /// (core/kernel.h) when `kernel` matches the result's f-tree — e.g. the
+  /// kernel attached to the serve-path plan cache entry for this query
+  /// (serve/plan_cache.h). Null or mismatching kernels fall back to the
+  /// interpreted path, so callers can pass whatever the cache holds.
+  Relation MaterializeResult(const FdbResult& res,
+                             const EnumKernel* kernel) const {
+    return MaterializeVisible(res.rep, opts_.enumerate, kernel);
+  }
+
   /// Baselines.
   RdbResult ExecuteRdb(const Query& q, const RdbOptions& opts = {}) const;
   VdbResult ExecuteVdb(const Query& q, const VdbOptions& opts = {}) const;

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 #include <ostream>
+#include <thread>
 
 namespace fdb {
 
@@ -203,7 +204,11 @@ int Report::Finish() {
   }
   out << "{\"bench\": ";
   JsonEscape(out, bench_name_);
-  out << ",\n \"schema_version\": 1,\n \"sections\": [";
+  // Host parallelism stamp: parallel-speedup numbers are meaningless
+  // without knowing how many cores the run actually had (a 1-core host
+  // cannot show any).
+  out << ",\n \"schema_version\": 1,\n \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n \"sections\": [";
   for (size_t s = 0; s < sections_.size(); ++s) {
     if (s) out << ',';
     const Section& sec = sections_[s];

@@ -93,8 +93,15 @@ bool TupleEnumerator::ResetFrame(size_t i) {
     const size_t k = rep_->tree().node(pf.node).children.size();
     f.union_id = pu.Child(pf.entry, f.slot, k);
   }
-  f.entry = i < bounds_.size() ? bounds_[i].begin : 0;
-  if (f.entry >= rep_->u(f.union_id).size()) return false;
+  size_t begin = 0;
+  size_t limit = rep_->u(f.union_id).size();
+  if (i < bounds_.size()) {
+    begin = bounds_[i].begin;
+    limit = std::min<size_t>(limit, bounds_[i].end);
+  }
+  f.entry = begin;
+  f.limit = limit;
+  if (begin >= limit) return false;
   WriteValues(i);
   return true;
 }
@@ -132,12 +139,11 @@ bool TupleEnumerator::Next() {
   // Odometer: advance the deepest frame with a next entry; reset the rest.
   size_t i = frames_.size();
   while (i > 0) {
+    // The advance limit was folded into the frame at reset (min of union
+    // size and bound end), so the unrestricted hot path pays no per-frame
+    // header read or bound clamp here.
     Frame& f = frames_[i - 1];
-    size_t limit = rep_->u(f.union_id).size();
-    if (i - 1 < bounds_.size()) {
-      limit = std::min<size_t>(limit, bounds_[i - 1].end);
-    }
-    if (f.entry + 1 < limit) {
+    if (f.entry + 1 < f.limit) {
       ++f.entry;
       WriteValues(i - 1);
       for (size_t j = i; j < frames_.size(); ++j) ResetFrame(j);

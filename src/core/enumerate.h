@@ -90,13 +90,19 @@ class TupleEnumerator {
   struct Frame : PreOrderFrame {
     uint32_t union_id = 0;
     size_t entry = 0;
+    /// Entries strictly below this advance: min(union size, bound end),
+    /// folded in at reset so the hot advance loop compares one cached
+    /// value instead of re-reading the union header and re-clamping the
+    /// bound on every step.
+    size_t limit = 0;
   };
 
   // Sets frames_[i].union_id from the parent frame (or root slot), resets
-  // its entry to the frame's lower bound (0 when unbounded) and writes the
-  // class values into current_. Returns false when the bound misses the
-  // union entirely — possible only on the first pass, since bounded frames
-  // form a pinned chain whose unions never change afterwards.
+  // its entry to the frame's lower bound (0 when unbounded), caches the
+  // frame's entry limit and writes the class values into current_. Returns
+  // false when the bound misses the union entirely — possible only on the
+  // first pass, since bounded frames form a pinned chain whose unions
+  // never change afterwards.
   bool ResetFrame(size_t i);
   void WriteValues(size_t i);
 

@@ -1,0 +1,106 @@
+// Per-plan compiled enumeration kernels.
+//
+// The interpreted TupleEnumerator re-reads the f-tree shape on every frame
+// advance: union headers are resolved per step, child-slot arithmetic uses
+// the tree's child lists, and extracting a tuple re-indexes the sparse
+// current_[] array once per attribute. The serve path pays that cost
+// millions of times per second against a *fixed* shape — the PlanCache pins
+// (query, f-tree) pairs, so the shape is known the first time a plan
+// executes.
+//
+// EnumKernel specialises the enumeration loop for one shape. Compile()
+// lowers the pre-order frame list (BuildPreOrderFrames) into a flat Step
+// program: per frame the parent frame index, the child slot and stride, and
+// the output columns its value feeds, resolved once. Running the program
+// walks raw arena windows (UnionRef::values()/children() pointers — stable
+// while the representation is frozen, which enumeration guarantees) with a
+// fixed-size frame stack, and fuses visible-attribute extraction into row
+// emission: each advance writes only the columns that changed and appends
+// the assembled row directly, so MaterializeVisible never re-reads the
+// enumerator per attribute.
+//
+// Morsel bounds (EntryBound, same contract as the TupleEnumerator bounds
+// constructor: a pinned chain plus one ranged frame) restrict the run, so
+// ParallelEnumerator executes one kernel run per morsel.
+//
+// Fallback rules: a kernel is only valid for representations whose f-tree
+// matches the compiled shape — callers check Matches() (cheap: one frame
+// rebuild + signature compare) and fall back to the interpreted enumerator
+// otherwise. Uncached/ad-hoc queries never compile; the serve path compiles
+// once per plan-cache miss and reuses the kernel warm (serve/plan_cache.h).
+#ifndef FDB_CORE_KERNEL_H_
+#define FDB_CORE_KERNEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/enumerate.h"
+#include "core/frep.h"
+
+namespace fdb {
+
+/// A shape-specialised enumeration program. Immutable after Compile();
+/// safe to share between threads (runs carry all mutable state on the
+/// stack), which is how ParallelEnumerator executes it per morsel.
+class EnumKernel {
+ public:
+  /// Lowers the (optionally visible-restricted) pre-order frame program of
+  /// `tree` into a kernel. `visible_only` matches the TupleEnumerator mode:
+  /// subtrees without visible attributes are skipped and the output schema
+  /// is the visible attributes in increasing id order; otherwise every
+  /// alive node gets a frame and the schema is all attributes.
+  static EnumKernel Compile(const FTree& tree, bool visible_only);
+
+  bool visible_only() const { return visible_only_; }
+
+  /// Output schema: one column per attribute, increasing id order.
+  const std::vector<AttrId>& schema() const { return schema_; }
+
+  /// True iff `tree` lowers to the same step program — the kernel then
+  /// enumerates any representation over `tree` correctly. Callers must
+  /// check this before running a kernel against a representation it was
+  /// not compiled from (plan-cache entries outlive result trees).
+  bool Matches(const FTree& tree) const;
+
+  /// Runs the program restricted to `bounds` (same contract as the
+  /// TupleEnumerator bounds constructor; empty = the whole stream) and
+  /// appends each tuple's values to `out` in schema() order, rows
+  /// concatenated flat (Relation::AppendRows format). Returns the number
+  /// of rows emitted. The nullary stream appends nothing and returns 1.
+  /// `rep.tree()` must satisfy Matches().
+  uint64_t Emit(const FRep& rep, std::span<const EntryBound> bounds,
+                std::vector<Value>* out) const;
+
+  /// Row count of the restricted stream without materialising it; the
+  /// innermost frame is counted by run length, not walked.
+  uint64_t CountRows(const FRep& rep,
+                     std::span<const EntryBound> bounds) const;
+
+ private:
+  /// One lowered pre-order frame. `out_cols_[out_begin, out_end)` are the
+  /// output columns fed by this frame's value (every schema attribute of
+  /// the frame's class).
+  struct Step {
+    int32_t node = -1;      ///< f-tree node (diagnostics only at run time)
+    int32_t parent = -1;    ///< parent step index; -1 for roots
+    uint32_t slot = 0;      ///< child slot under the parent / root slot
+    uint32_t nslots = 0;    ///< parent's child count (child-array stride)
+    uint32_t out_begin = 0;
+    uint32_t out_end = 0;
+  };
+
+  template <bool kEmit>
+  uint64_t Run(const FRep& rep, std::span<const EntryBound> bounds,
+               std::vector<Value>* out) const;
+
+  std::vector<Step> steps_;        ///< pre-order, one per kept frame
+  std::vector<uint32_t> out_cols_; ///< flat per-step column lists
+  std::vector<AttrId> schema_;     ///< output attributes, ascending
+  std::vector<uint64_t> signature_;  ///< shape key compared by Matches()
+  bool visible_only_ = false;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_KERNEL_H_

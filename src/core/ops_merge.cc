@@ -1,7 +1,10 @@
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/ops.h"
 #include "core/ops_common.h"
+#include "core/simd.h"
 #include "core/validate.h"
 
 namespace fdb {
@@ -31,34 +34,27 @@ FRep Merge(const FRep& in, AttrId a_attr, AttrId b_attr) {
   FRep out(std::move(new_tree));
   if (in.empty()) return out;
 
-  // Sort-merge two unions; kNoUnion when the intersection is empty.
+  // Sort-merge two unions; kNoUnion when the intersection is empty. The
+  // value intersection runs first over the two contiguous arena windows
+  // (branch-free / galloping, core/simd.h) — the child-copying pass then
+  // only touches matching entries.
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
   auto merge_unions = [&](uint32_t ida, uint32_t idb) -> uint32_t {
     UnionRef ua = in.u(ida);
     UnionRef ub = in.u(idb);
+    matches.clear();
+    simd::IntersectSorted(ua.values(), ua.size(), ub.values(), ub.size(),
+                          &matches);
+    if (matches.empty()) return kNoUnion;
     UnionBuilder m = out.StartUnion(a);
-    size_t i = 0, j = 0;
-    while (i < ua.size() && j < ub.size()) {
-      const Value va = ua.value(i);
-      const Value vb = ub.value(j);
-      if (va < vb) {
-        ++i;
-      } else if (vb < va) {
-        ++j;
-      } else {
-        m.AddValue(va);
-        for (size_t s = 0; s < ka; ++s) {
-          m.AddChild(CopyTree(in, ua.Child(i, s, ka), &out));
-        }
-        for (size_t s = 0; s < kb; ++s) {
-          m.AddChild(CopyTree(in, ub.Child(j, s, kb), &out));
-        }
-        ++i;
-        ++j;
+    for (const auto& [i, j] : matches) {
+      m.AddValue(ua.value(i));
+      for (size_t s = 0; s < ka; ++s) {
+        m.AddChild(CopyTree(in, ua.Child(i, s, ka), &out));
       }
-    }
-    if (m.empty()) {
-      m.Abandon();
-      return kNoUnion;
+      for (size_t s = 0; s < kb; ++s) {
+        m.AddChild(CopyTree(in, ub.Child(j, s, kb), &out));
+      }
     }
     return m.Finish();
   };
@@ -184,10 +180,9 @@ FRep Absorb(const FRep& in, AttrId a_attr, AttrId b_attr) {
       const size_t k = t.node(un.node()).children.size();
       if (un.node() == b) {
         FDB_CHECK_MSG(have_a, "B-union outside the scope of its A-ancestor");
-        const Value* vals = un.values();
-        const Value* it = std::lower_bound(vals, vals + un.size(), a_val);
-        if (it == vals + un.size() || *it != a_val) return kNoUnion;
-        size_t e = static_cast<size_t>(it - vals);
+        // Branchless point lookup in the contiguous value window.
+        const size_t e = simd::FindValue(un.values(), un.size(), a_val);
+        if (e == un.size()) return kNoUnion;
         UnionBuilder nu = mid.StartUnion(b);
         nu.AddValue(a_val);
         for (size_t j = 0; j < k; ++j) {

@@ -1,5 +1,9 @@
+#include <cstdint>
+#include <vector>
+
 #include "core/ops.h"
 #include "core/ops_common.h"
+#include "core/simd.h"
 #include "core/validate.h"
 
 namespace fdb {
@@ -30,6 +34,12 @@ FRep SelectConst(const FRep& in, AttrId attr, CmpOp op, Value c) {
   std::vector<char> on_path = SubtreeContains(t, x);
   std::vector<uint32_t> memo(in.NumUnions(), kNoUnion);
 
+  // Predicate mask scratch, reused across X-unions. Safe to share: only
+  // unions of X's node use it, and X's descendants are off-path (their
+  // subtrees cannot contain X again), so the recursion never reaches a
+  // second X-union while one is being filtered.
+  std::vector<uint8_t> mask;
+
   // Returns the rebuilt union or kNoUnion if it became empty.
   auto rec = [&](auto&& self, uint32_t id) -> uint32_t {
     UnionRef un = in.u(id);
@@ -37,10 +47,17 @@ FRep SelectConst(const FRep& in, AttrId attr, CmpOp op, Value c) {
       return CopySubtree(in, id, &out, &memo);
     }
     const size_t k = t.node(un.node()).children.size();
+    const bool is_x = un.node() == x;
+    if (is_x) {
+      // Batched predicate evaluation over the contiguous value window
+      // (one vectorised pass) instead of per-entry EvalCmp dispatch.
+      mask.resize(un.size());
+      simd::CmpMask(un.values(), un.size(), op, c, mask.data());
+    }
     UnionBuilder nu = out.StartUnion(un.node());
     std::vector<uint32_t> kept_children;
     for (size_t e = 0; e < un.size(); ++e) {
-      if (un.node() == x && !EvalCmp(un.value(e), op, c)) continue;
+      if (is_x && mask[e] == 0) continue;
       kept_children.clear();
       bool dead = false;
       for (size_t j = 0; j < k; ++j) {

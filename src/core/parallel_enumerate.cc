@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "core/kernel.h"
 #include "core/validate.h"
 
 namespace fdb {
@@ -199,24 +200,23 @@ ParallelEnumerator::ParallelEnumerator(const FRep& rep, EnumerateOptions opts,
   FDB_VALIDATE_MORSELS(rep, visible_only, plan_);
 }
 
-void ParallelEnumerator::Enumerate(
-    const std::function<void(size_t, TupleEnumerator&)>& consume) const {
+void ParallelEnumerator::ForEachChunk(
+    const std::function<void(size_t)>& fn) const {
   const size_t n = plan_.morsels.size();
   if (n == 0) return;
   if (threads_ <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) {
-      TupleEnumerator en(*rep_, visible_only_, plan_.morsels[i].bounds);
-      consume(i, en);
-    }
+    for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool::Shared().ParallelFor(
-      n,
-      [&](size_t i) {
-        TupleEnumerator en(*rep_, visible_only_, plan_.morsels[i].bounds);
-        consume(i, en);
-      },
-      threads_);
+  ThreadPool::Shared().ParallelFor(n, fn, threads_);
+}
+
+void ParallelEnumerator::Enumerate(
+    const std::function<void(size_t, TupleEnumerator&)>& consume) const {
+  ForEachChunk([&](size_t i) {
+    TupleEnumerator en(*rep_, visible_only_, plan_.morsels[i].bounds);
+    consume(i, en);
+  });
 }
 
 Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts) {
@@ -249,6 +249,54 @@ Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts) {
   for (const std::vector<Value>& b : chunks) total_values += b.size();
   out.Reserve(arity > 0 ? total_values / arity : 0);
   for (const std::vector<Value>& b : chunks) out.AppendRows(b);
+  out.SortLex();  // relations are sets: sort + dedup
+  return out;
+}
+
+Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts,
+                            const EnumKernel* kernel) {
+  // Fallback rules: no kernel, a full-tuple (not visible-mode) kernel, or a
+  // shape mismatch (the rep's f-tree differs from the one compiled against)
+  // all route to the interpreted path — the kernel is an accelerator, never
+  // a requirement.
+  if (kernel == nullptr || !kernel->visible_only() ||
+      !kernel->Matches(rep.tree())) {
+    return MaterializeVisible(rep, opts);
+  }
+  const std::vector<AttrId>& schema = kernel->schema();
+  Relation out(schema);
+  if (rep.empty()) return out;
+  const size_t arity = schema.size();
+  ParallelEnumerator pe(rep, opts, /*visible_only=*/true);
+  if (arity == 0) {
+    // Fully-invisible (or nullary) stream: the kernel reports the single
+    // collapsed row count without appending values.
+    std::vector<Value> none;
+    const uint64_t rows = kernel->Emit(rep, {}, &none);
+    for (uint64_t r = 0; r < rows; ++r) out.AddTuple({});
+    out.SortLex();
+    return out;
+  }
+  // One kernel run per morsel, restricted by the morsel's bound chain; the
+  // per-chunk buffers concatenate in chunk order to the sequential stream.
+  std::vector<std::vector<Value>> chunks(pe.num_chunks());
+  pe.ForEachChunk([&](size_t c) {
+    const Morsel& m = pe.plan().morsels[c];
+    std::vector<Value>& buf = chunks[c];
+    // Exact presize via the kernel's count mode — it skips the innermost
+    // walk entirely, so it costs a fraction of a percent of the emit and
+    // guarantees the emit never reallocates (the sequential-fallback
+    // morsel carries no estimate, and estimates may run short).
+    buf.reserve(kernel->CountRows(rep, m.bounds) * arity);
+    kernel->Emit(rep, m.bounds, &buf);
+  });
+  // The first chunk moves into the relation (free for the common
+  // single-chunk sequential case); the rest reserve-then-append.
+  size_t total_values = 0;
+  for (const std::vector<Value>& b : chunks) total_values += b.size();
+  out.AdoptRows(std::move(chunks[0]));
+  out.Reserve(total_values / arity);
+  for (size_t c = 1; c < chunks.size(); ++c) out.AppendRows(chunks[c]);
   out.SortLex();  // relations are sets: sort + dedup
   return out;
 }

@@ -32,6 +32,8 @@
 
 namespace fdb {
 
+class EnumKernel;  // core/kernel.h
+
 /// Knobs of one (possibly parallel) enumeration.
 struct EnumerateOptions {
   /// Maximum threads enumerating concurrently (including the caller).
@@ -104,6 +106,13 @@ class ParallelEnumerator {
   void Enumerate(
       const std::function<void(size_t, TupleEnumerator&)>& consume) const;
 
+  /// Lower-level scheduling hook: calls fn(chunk) for every chunk index,
+  /// concurrently on up to threads() threads, without constructing
+  /// enumerators — for consumers that run their own per-morsel walk (the
+  /// compiled-kernel materialisation reads plan().morsels[chunk].bounds).
+  /// Same concurrency and exception contract as Enumerate().
+  void ForEachChunk(const std::function<void(size_t)>& fn) const;
+
  private:
   const FRep* rep_;
   bool visible_only_;
@@ -115,6 +124,14 @@ class ParallelEnumerator {
 /// overload in core/enumerate.h (same rows, same sort), enumerated on up
 /// to opts.threads cores for large representations.
 Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts);
+
+/// Kernel-accelerated MaterializeVisible: when `kernel` is a visible-mode
+/// kernel whose compiled shape matches rep.tree() (EnumKernel::Matches),
+/// rows are emitted by one kernel run per morsel — extraction fused into
+/// emission — on up to opts.threads cores; otherwise this falls back to
+/// the interpreted overload above. Output is identical either way.
+Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts,
+                            const EnumKernel* kernel);
 
 }  // namespace fdb
 

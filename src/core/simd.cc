@@ -1,0 +1,97 @@
+#include "core/simd.h"
+
+namespace fdb {
+namespace simd {
+
+FDB_SIMD_CLONES
+void CmpMask(const Value* vals, size_t n, CmpOp op, Value c, uint8_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      for (size_t i = 0; i < n; ++i) out[i] = vals[i] == c;
+      break;
+    case CmpOp::kNe:
+      for (size_t i = 0; i < n; ++i) out[i] = vals[i] != c;
+      break;
+    case CmpOp::kLt:
+      for (size_t i = 0; i < n; ++i) out[i] = vals[i] < c;
+      break;
+    case CmpOp::kLe:
+      for (size_t i = 0; i < n; ++i) out[i] = vals[i] <= c;
+      break;
+    case CmpOp::kGt:
+      for (size_t i = 0; i < n; ++i) out[i] = vals[i] > c;
+      break;
+    case CmpOp::kGe:
+      for (size_t i = 0; i < n; ++i) out[i] = vals[i] >= c;
+      break;
+  }
+}
+
+size_t LowerBound(const Value* v, size_t n, Value key) {
+  if (n == 0) return 0;
+  size_t base = 0;
+  size_t len = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    // Conditional add compiles to cmov: no data-dependent branch.
+    base += v[base + half - 1] < key ? half : 0;
+    len -= half;
+  }
+  return base + (v[base] < key ? 1 : 0);
+}
+
+size_t FindValue(const Value* v, size_t n, Value key) {
+  const size_t i = LowerBound(v, n, key);
+  return i < n && v[i] == key ? i : n;
+}
+
+namespace {
+
+// One-sided gallop: scan the small side, LowerBound into the large side
+// resuming past the previous hit (windows are strictly increasing).
+template <bool kSwapped>
+size_t GallopIntersect(const Value* small, size_t ns, const Value* large,
+                       size_t nl, std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  size_t matches = 0;
+  size_t from = 0;
+  for (size_t i = 0; i < ns && from < nl; ++i) {
+    const size_t j = from + LowerBound(large + from, nl - from, small[i]);
+    if (j < nl && large[j] == small[i]) {
+      if constexpr (kSwapped) {
+        out->emplace_back(static_cast<uint32_t>(j), static_cast<uint32_t>(i));
+      } else {
+        out->emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      }
+      ++matches;
+    }
+    from = j;
+  }
+  return matches;
+}
+
+}  // namespace
+
+FDB_SIMD_CLONES
+size_t IntersectSorted(const Value* a, size_t na, const Value* b, size_t nb,
+                       std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  if (na == 0 || nb == 0) return 0;
+  if (na >= kGallopRatio * nb) return GallopIntersect<true>(b, nb, a, na, out);
+  if (nb >= kGallopRatio * na) return GallopIntersect<false>(a, na, b, nb, out);
+  size_t matches = 0;
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const Value va = a[i];
+    const Value vb = b[j];
+    if (va == vb) {
+      out->emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      ++matches;
+    }
+    // Branch-free advance: on a match both move, otherwise the smaller one.
+    i += va <= vb ? 1 : 0;
+    j += vb <= va ? 1 : 0;
+  }
+  return matches;
+}
+
+}  // namespace simd
+}  // namespace fdb

@@ -1,0 +1,79 @@
+// SIMD-friendly scans over the columnar value arenas.
+//
+// PR-2 made every union's values a contiguous window of the FRep value
+// arena; the operators that scan those windows (merge's sorted
+// intersection, absorb's point lookup, selection's predicate filter) can
+// therefore run branch-free loops the compiler autovectorises. This header
+// collects those loops in one place so the operator code stays readable
+// and the vectorisation strategy is swappable.
+//
+// Dispatch: on x86-64 GCC/Clang the hot loops are compiled twice via
+// __attribute__((target_clones)) — a baseline and an AVX2 clone — and the
+// dynamic linker's ifunc resolver picks the widest one the host supports.
+// Elsewhere (other ISAs, sanitizer builds, non-ELF targets) the attribute
+// expands to nothing and the plain autovectorised baseline is used. The
+// definitions live in simd.cc so each clone set is emitted exactly once.
+#ifndef FDB_CORE_SIMD_H_
+#define FDB_CORE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/query.h"
+
+namespace fdb {
+
+// Ifunc-based multi-versioning needs an ELF target with GNU ifunc support
+// and interferes with sanitizer interceptors, so it is gated tightly.
+#if defined(__x86_64__) && defined(__linux__) &&                     \
+    (defined(__GNUC__) || defined(__clang__)) &&                     \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__clang__) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define FDB_SIMD_CLONES
+#endif
+#endif
+#ifndef FDB_SIMD_CLONES
+#define FDB_SIMD_CLONES __attribute__((target_clones("avx2", "default")))
+#endif
+#else
+#define FDB_SIMD_CLONES
+#endif
+
+namespace simd {
+
+/// Writes `out[i] = (vals[i] op c)` for i in [0, n). One branch on `op`
+/// outside the loop; the per-element compares are branch-free byte writes,
+/// which GCC/Clang vectorise. `out` must hold n bytes.
+void CmpMask(const Value* vals, size_t n, CmpOp op, Value c, uint8_t* out);
+
+/// Index of the first element of the sorted window `v[0, n)` that is
+/// >= `key` (n when none is). Branchless binary search: the probe offset
+/// is added conditionally (cmov), no taken-branch misprediction per level.
+size_t LowerBound(const Value* v, size_t n, Value key);
+
+/// Index of `key` in the sorted window `v[0, n)`, or n when absent.
+size_t FindValue(const Value* v, size_t n, Value key);
+
+/// Appends to `out` every (i, j) with a[i] == b[j], in ascending order.
+/// Both windows must be strictly increasing (the union value invariant),
+/// so every match is unique. Balanced inputs run a branch-free two-pointer
+/// merge (both cursors advance by comparison results, no mispredicted
+/// pick-a-side branch); when one side is ≥ kGallopRatio times the other,
+/// the scan gallops through the large side with LowerBound instead.
+/// Returns the number of matches appended.
+size_t IntersectSorted(const Value* a, size_t na, const Value* b, size_t nb,
+                       std::vector<std::pair<uint32_t, uint32_t>>* out);
+
+/// Size ratio beyond which IntersectSorted switches from the linear
+/// two-pointer merge to galloping lookups into the larger side.
+inline constexpr size_t kGallopRatio = 32;
+
+}  // namespace simd
+}  // namespace fdb
+
+#endif  // FDB_CORE_SIMD_H_

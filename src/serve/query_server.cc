@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "common/thread_pool.h"
+#include "core/kernel.h"
+
 namespace fdb {
 
 QueryServer::QueryServer(Database* db, ServeOptions opts)
@@ -10,10 +13,6 @@ QueryServer::QueryServer(Database* db, ServeOptions opts)
       engine_(db, opts.engine),
       cache_(opts.plan_cache_capacity) {
   FDB_CHECK_MSG(opts_.num_workers > 0, "server needs at least one worker");
-  workers_.reserve(static_cast<size_t>(opts_.num_workers));
-  for (int i = 0; i < opts_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
 }
 
 QueryServer::~QueryServer() { Shutdown(); }
@@ -55,6 +54,7 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
   // stats() or Submit. Decide under the lock, fulfil outside it.
   const char* reject_reason = nullptr;
   ServeStatus reject_status = ServeStatus::kError;
+  bool schedule = false;
   {
     MutexLock lock(mu_);
     ++received_;
@@ -84,6 +84,15 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
       group->waiters.push_back(std::move(waiter));
       open_.emplace(group->signature, group.get());
       queue_.push_back(std::move(group));
+      // Schedule a drain task unless num_workers are already in flight —
+      // a running task loops until the queue empties, so the new group is
+      // guaranteed a worker either way (both the enqueue here and the
+      // worker's exit check happen under mu_, so a worker cannot retire
+      // between this enqueue and a decision not to schedule).
+      if (inflight_ < static_cast<size_t>(opts_.num_workers)) {
+        ++inflight_;
+        schedule = true;
+      }
     }
   }
   if (reject_reason != nullptr) {
@@ -91,7 +100,9 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
         ServeResponse{reject_status, reject_reason, false, false});
     return future;
   }
-  cv_.NotifyOne();
+  // Spawn outside the lock: the pool has its own mutex and the task may
+  // start (and want mu_) immediately.
+  if (schedule) ThreadPool::Shared().Submit([this] { RunWorker(); });
   return future;
 }
 
@@ -100,13 +111,19 @@ ServeResponse QueryServer::Query(const std::string& sql,
   return Submit(sql, deadline_seconds).get();
 }
 
-void QueryServer::WorkerLoop() {
+void QueryServer::RunWorker() {
   for (;;) {
     std::unique_ptr<Group> group;
     {
       MutexLock lock(mu_);
-      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
-      if (queue_.empty()) return;  // stopping and drained
+      if (stopping_ || queue_.empty()) {
+        // Retire this drain task. The notify wakes Shutdown, which waits
+        // for inflight_ == 0; after the decrement the task touches no
+        // server state, so a woken Shutdown may safely destroy `this`.
+        --inflight_;
+        if (inflight_ == 0) cv_.NotifyAll();
+        return;
+      }
       group = std::move(queue_.front());
       queue_.pop_front();
       // Close the group: from here on, identical SQL starts a fresh one
@@ -144,18 +161,19 @@ void QueryServer::ExecuteGroup(Group& group) {
   if (live.empty()) return;
 
   ServeResponse response;
+  bool built_kernel = false;
   try {
     const uint64_t version = db_->version();
     std::shared_ptr<const CachedPlan> plan =
         cache_.Lookup(group.signature, version);
+    std::shared_ptr<CachedPlan> fresh;
     if (plan == nullptr) {
-      auto fresh = std::make_shared<CachedPlan>();
+      fresh = std::make_shared<CachedPlan>();
       fresh->query = engine_.Parse(group.raw_sql);
       // The f-tree search ignores projection/grouping, so one tree serves
       // both the SPJ and the aggregate path of this query.
       fresh->search = engine_.OptimizeFlat(fresh->query);
-      cache_.Insert(group.signature, version, fresh);
-      plan = std::move(fresh);
+      plan = fresh;
     } else {
       response.cache_hit = true;
     }
@@ -170,6 +188,20 @@ void QueryServer::ExecuteGroup(Group& group) {
       result.aggregate = std::move(ar.table);
     } else {
       result = engine_.EvaluateFlat(plan->query, &plan->search);
+    }
+    if (fresh != nullptr) {
+      // Publish only after the first successful execution: failing plans
+      // are never cached, and the result's f-tree is now known, so a
+      // compiled enumeration kernel specialised to it can ride along
+      // (SPJ only — aggregate output is a grouped table, not a stream).
+      // Inserting before the waiters are fulfilled keeps the sequential
+      // repeat guarantee: a client that has its answer hits the cache.
+      if (!fresh->query.IsAggregate()) {
+        fresh->kernel = std::make_shared<const EnumKernel>(
+            EnumKernel::Compile(result.rep.tree(), /*visible_only=*/true));
+        built_kernel = true;
+      }
+      cache_.Insert(group.signature, version, std::move(fresh));
     }
     response.status = ServeStatus::kOk;
     response.body = RenderResult(*db_, result);
@@ -207,6 +239,7 @@ void QueryServer::ExecuteGroup(Group& group) {
     ++executed_;
     errors_ += delivered_errors;
     timeouts_ += delivered_timeouts;
+    if (built_kernel) ++kernels_built_;
   }
   for (size_t i = 0; i < live.size(); ++i) {
     live[i].promise.set_value(std::move(outcomes[i]));
@@ -223,6 +256,7 @@ ServerStats QueryServer::stats() const {
     s.errors = errors_;
     s.timeouts = timeouts_;
     s.rejected = rejected_;
+    s.kernels_built = kernels_built_;
   }
   s.plan_cache = cache_.stats();
   return s;
@@ -230,7 +264,6 @@ ServerStats QueryServer::stats() const {
 
 void QueryServer::Shutdown() {
   std::vector<std::unique_ptr<Group>> drained;
-  std::vector<std::thread> to_join;
   {
     MutexLock lock(mu_);
     stopping_ = true;
@@ -241,13 +274,12 @@ void QueryServer::Shutdown() {
       queue_.pop_front();
     }
     for (const auto& group : drained) errors_ += group->waiters.size();
-    // Claim the workers under the lock: concurrent Shutdown calls each
-    // join only the threads they claimed (usually none for the loser).
-    to_join.swap(workers_);
-  }
-  cv_.NotifyAll();
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
+    // Wait for in-flight pool tasks: each retires (decrements inflight_
+    // and notifies) on its next queue check, after which it no longer
+    // touches server state — so once inflight_ is zero, destroying the
+    // server is safe. Safe to run from concurrent callers (each waits for
+    // the same condition) and idempotent.
+    while (inflight_ > 0) cv_.Wait(mu_);
   }
   for (auto& group : drained) {
     for (Waiter& w : group->waiters) {

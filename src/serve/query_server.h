@@ -8,7 +8,8 @@
 //                                │ (requests with identical normalised
 //                                │  SQL coalesce onto one evaluation)
 //                                ▼
-//                      worker thread pool (N threads)
+//              shared thread pool (common/thread_pool.h), at most
+//              num_workers drain tasks running concurrently
 //                                │  plan cache lookup (normalised SQL,
 //                                │  db version) ── miss: parse + optimise
 //                                ▼
@@ -16,11 +17,20 @@
 //                                │
 //                                ▼ one rendered body, fan-out to waiters
 //
+// The server owns no threads: Submit spawns a queue-draining task on the
+// process-wide pool whenever fewer than num_workers are in flight, and
+// each task loops until the queue is empty, so num_workers bounds the
+// number of *concurrent evaluations* rather than naming dedicated
+// threads. Shutdown waits for in-flight tasks instead of joining.
+//
 // The shared plan cache (serve/plan_cache.h) makes the steady-state hot
 // path cache-lookup -> ground/execute -> enumerate, skipping the
-// exponential f-tree search entirely. Per-request deadlines are enforced
-// at dequeue (expired requests are answered TIMEOUT without evaluating)
-// and again at delivery.
+// exponential f-tree search entirely. A cache entry is published only
+// after its first successful execution, carrying a compiled enumeration
+// kernel (core/kernel.h) specialised to the result shape — warm repeats
+// reuse it without recompiling (ServerStats::kernels_built stays flat).
+// Per-request deadlines are enforced at dequeue (expired requests are
+// answered TIMEOUT without evaluating) and again at delivery.
 //
 // Thread safety: the database must be fully loaded before the server is
 // constructed and must not change while it serves (Database::version
@@ -31,12 +41,12 @@
 #ifndef FDB_SERVE_QUERY_SERVER_H_
 #define FDB_SERVE_QUERY_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -51,7 +61,11 @@ namespace fdb {
 
 /// Serve-path knobs.
 struct ServeOptions {
-  int num_workers = 4;               ///< worker threads executing queries
+  /// Maximum evaluations running concurrently. Work is executed by tasks
+  /// on the shared process-wide thread pool (common/thread_pool.h), not by
+  /// dedicated server threads, so this bounds concurrency rather than
+  /// sizing a pool.
+  int num_workers = 4;
   size_t plan_cache_capacity = 64;   ///< LRU bound on cached plans
   double default_deadline_seconds = 0.0;  ///< <= 0: no deadline
   /// Admission control: maximum queued evaluation groups (0 = unbounded).
@@ -70,14 +84,19 @@ struct ServerStats {
   uint64_t errors = 0;     ///< requests answered ERR
   uint64_t timeouts = 0;   ///< requests answered TIMEOUT
   uint64_t rejected = 0;   ///< requests answered BUSY (queue at max_queue)
+  /// Enumeration kernels compiled (one per plan-cache miss of a
+  /// non-aggregate query). Stays flat across warm repeats: cached plans
+  /// carry their kernel, so hits never recompile.
+  uint64_t kernels_built = 0;
   PlanCacheStats plan_cache;
 };
 
 /// A concurrent read-only SQL query server over one Database.
 class QueryServer {
  public:
-  /// Spawns the worker pool. `db` must outlive the server and stay frozen
-  /// while it runs.
+  /// `db` must outlive the server and stay frozen while it runs. No
+  /// threads are spawned here: evaluation runs on the shared thread pool,
+  /// scheduled on demand by Submit.
   explicit QueryServer(Database* db, ServeOptions opts = {});
   ~QueryServer();
 
@@ -100,8 +119,9 @@ class QueryServer {
   const Database& db() const { return *db_; }
   const PlanCache& plan_cache() const { return cache_; }
 
-  /// Stops accepting work, drains the queue (answering kError) and joins
-  /// the workers. Idempotent; also run by the destructor.
+  /// Stops accepting work, drains the queue (answering kError) and waits
+  /// for in-flight pool tasks to finish. Idempotent; also run by the
+  /// destructor.
   void Shutdown() EXCLUDES(mu_);
 
  private:
@@ -123,7 +143,9 @@ class QueryServer {
     std::vector<Waiter> waiters;
   };
 
-  void WorkerLoop() EXCLUDES(mu_);
+  /// Body of one pool task: drains queued groups until the queue is empty
+  /// or the server is stopping, then retires its inflight slot.
+  void RunWorker() EXCLUDES(mu_);
   void ExecuteGroup(Group& group) EXCLUDES(mu_);
 
   Database* db_;
@@ -144,10 +166,12 @@ class QueryServer {
   uint64_t errors_ GUARDED_BY(mu_) = 0;
   uint64_t timeouts_ GUARDED_BY(mu_) = 0;
   uint64_t rejected_ GUARDED_BY(mu_) = 0;
+  uint64_t kernels_built_ GUARDED_BY(mu_) = 0;
 
-  /// Written by the constructor before workers exist and claimed under mu_
-  /// by Shutdown; workers never touch it.
-  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  /// Queue-draining pool tasks currently running (or scheduled and not yet
+  /// started). Bounded by opts_.num_workers; Shutdown waits on cv_ for it
+  /// to reach zero, which also guarantees no task still references `this`.
+  size_t inflight_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fdb

@@ -1,10 +1,36 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <unordered_set>
 
 namespace fdb {
+
+namespace {
+
+// Sort + dedup for a fixed arity K: each row is materialised as a
+// contiguous key with its columns permuted into the requested compare
+// order, so std::sort touches sequential memory instead of chasing a row
+// permutation (two random reads per compare) — several times faster on
+// multi-million-row results. Dedup on the permuted keys is exact because
+// the order is a permutation of all K columns.
+template <size_t K>
+void SortRowsFixed(std::vector<Value>& data, const std::vector<size_t>& order) {
+  const size_t n = data.size() / K;
+  std::vector<std::array<Value, K>> keys(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < K; ++j) keys[r][j] = data[r * K + order[j]];
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  data.resize(keys.size() * K);
+  for (size_t r = 0; r < keys.size(); ++r) {
+    for (size_t j = 0; j < K; ++j) data[r * K + order[j]] = keys[r][j];
+  }
+}
+
+}  // namespace
 
 Relation::Relation(std::vector<AttrId> schema) : schema_(std::move(schema)) {
   AttrSet seen;
@@ -43,6 +69,18 @@ void Relation::AppendRows(std::span<const Value> values) {
   sort_order_.clear();
 }
 
+void Relation::AdoptRows(std::vector<Value>&& values) {
+  FDB_CHECK_MSG(arity() > 0, "AdoptRows on a nullary relation");
+  FDB_CHECK_MSG(values.size() % arity() == 0,
+                "AdoptRows size must be a multiple of the arity");
+  if (data_.empty()) {
+    data_ = std::move(values);
+  } else {
+    data_.insert(data_.end(), values.begin(), values.end());
+  }
+  sort_order_.clear();
+}
+
 void Relation::SortByColumns(const std::vector<size_t>& cols) {
   const size_t k = arity();
   if (k == 0) return;
@@ -55,6 +93,17 @@ void Relation::SortByColumns(const std::vector<size_t>& cols) {
   }
   for (size_t c = 0; c < k; ++c) {
     if (!used[c]) order.push_back(c);
+  }
+
+  // Narrow arities (every enumerated result in practice) take the
+  // cache-friendly fixed-key sort; wider rows fall back to the generic
+  // permutation sort below.
+  switch (k) {
+    case 1: SortRowsFixed<1>(data_, order); sort_order_ = order; return;
+    case 2: SortRowsFixed<2>(data_, order); sort_order_ = order; return;
+    case 3: SortRowsFixed<3>(data_, order); sort_order_ = order; return;
+    case 4: SortRowsFixed<4>(data_, order); sort_order_ = order; return;
+    default: break;
   }
 
   const size_t n = size();

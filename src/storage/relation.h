@@ -43,6 +43,12 @@ class Relation {
   /// merge step of parallel enumeration sinks). `values.size()` must be a
   /// multiple of arity(), which must be positive.
   void AppendRows(std::span<const Value> values);
+
+  /// AppendRows that takes ownership: when the relation is still empty the
+  /// buffer is moved in wholesale (no copy — the fast path for a
+  /// single-chunk kernel materialisation), otherwise it degrades to a
+  /// plain append. Same size contract as AppendRows.
+  void AdoptRows(std::vector<Value>&& values);
   void AddTuple(std::initializer_list<Value> tuple) {
     AddTuple(std::span<const Value>(tuple.begin(), tuple.size()));
   }
