@@ -1,0 +1,3 @@
+SELECT	*
+FROM orders
+WHERE qty <> 2

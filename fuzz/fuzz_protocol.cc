@@ -1,0 +1,71 @@
+// Fuzz harness: the serve-path protocol layer (serve/protocol.h).
+//
+// Contract under attack:
+//   * NormalizeSql throws FdbError on unlexable input, and on accepted
+//     input is *idempotent* — the normal form is its own normal form.
+//     (The plan cache keys on it: a drifting normal form would split or
+//     alias cache entries.)
+//   * FrameResponse keeps the wire format parseable for any body bytes:
+//     ERR/TIMEOUT/BUSY frames are exactly one line, and an OK frame's
+//     advertised line count matches its body.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fuzz_util.h"
+#include "serve/protocol.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_protocol: %s\n", what);
+    std::abort();
+  }
+}
+
+size_t CountLines(const std::string& s) {
+  return static_cast<size_t>(std::count(s.begin(), s.end(), '\n'));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const fdb::Catalog catalog = fdb::fuzz::MakeFuzzCatalog();
+  std::string input(reinterpret_cast<const char*>(data), size);
+
+  try {
+    std::string once = fdb::NormalizeSql(input, catalog);
+    std::string twice = fdb::NormalizeSql(once, catalog);
+    Require(once == twice, "NormalizeSql is not idempotent");
+  } catch (const fdb::FdbError&) {
+    // Unlexable input; the serve path answers ERR.
+  }
+
+  // Framing must hold for arbitrary bodies, including embedded newlines.
+  for (fdb::ServeStatus status :
+       {fdb::ServeStatus::kError, fdb::ServeStatus::kTimeout,
+        fdb::ServeStatus::kBusy}) {
+    fdb::ServeResponse r;
+    r.status = status;
+    r.body = input;
+    Require(CountLines(fdb::FrameResponse(r)) == 1,
+            "one-line frame leaked a newline");
+  }
+  {
+    fdb::ServeResponse ok;
+    ok.status = fdb::ServeStatus::kOk;
+    ok.body = input;
+    if (!ok.body.empty() && ok.body.back() != '\n') ok.body += '\n';
+    std::string framed = fdb::FrameResponse(ok);
+    size_t header_end = framed.find('\n');
+    Require(header_end != std::string::npos && framed.rfind("OK ", 0) == 0,
+            "OK frame missing header");
+    size_t advertised = std::stoul(framed.substr(3, header_end - 3));
+    Require(advertised == CountLines(framed.substr(header_end + 1)),
+            "OK frame line count does not match body");
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz harness: the SQL front door (lexer -> parser -> AnalyzeQuery).
+//
+// Contract under attack: any byte string either parses into a Query that
+// AnalyzeQuery accepts or rejects, or throws FdbError. Anything else —
+// another exception type (std::out_of_range from a huge literal was a real
+// finding), a sanitizer fault, unbounded recursion or allocation — is a
+// finding and crashes the harness.
+#include <cstdint>
+#include <string>
+
+#include "common/dictionary.h"
+#include "fuzz_util.h"
+#include "sql/parser.h"
+#include "storage/query.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const fdb::Catalog catalog = fdb::fuzz::MakeFuzzCatalog();
+  std::string sql(reinterpret_cast<const char*>(data), size);
+  try {
+    fdb::Dictionary dict;
+    fdb::Query q = fdb::ParseSql(sql, catalog, &dict);
+    (void)fdb::AnalyzeQuery(catalog, q);
+  } catch (const fdb::FdbError&) {
+    // The one sanctioned outcome for malformed input.
+  }
+  return 0;
+}

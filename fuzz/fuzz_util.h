@@ -1,0 +1,33 @@
+// Shared fixtures for the fuzz harnesses.
+//
+// The SQL-facing harnesses (fuzz_sql, fuzz_protocol) parse against a fixed
+// catalog modelled on the grocery-retailer example: two relations, mixed
+// integer/string columns, a joinable attribute pair. The catalog is built
+// once per process — it is immutable under parsing, so reusing it across
+// inputs keeps the harness hot loop allocation-light without leaking state
+// between inputs (the Dictionary, which *is* mutated by interning, is
+// created fresh per input by the harnesses).
+#ifndef FDB_FUZZ_FUZZ_UTIL_H_
+#define FDB_FUZZ_FUZZ_UTIL_H_
+
+#include "storage/catalog.h"
+
+namespace fdb {
+namespace fuzz {
+
+inline Catalog MakeFuzzCatalog() {
+  Catalog c;
+  AttrId oid = c.AddAttribute("oid");
+  AttrId item = c.AddAttribute("item", /*is_string=*/true);
+  AttrId sitem = c.AddAttribute("sitem", /*is_string=*/true);
+  AttrId warehouse = c.AddAttribute("warehouse", /*is_string=*/true);
+  AttrId qty = c.AddAttribute("qty");
+  c.AddRelation("orders", {oid, item});
+  c.AddRelation("stock", {sitem, warehouse, qty});
+  return c;
+}
+
+}  // namespace fuzz
+}  // namespace fdb
+
+#endif  // FDB_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,74 @@
+// Corpus-replay driver for the fuzz harnesses.
+//
+// Every harness in fuzz/ defines the libFuzzer entry point
+// LLVMFuzzerTestOneInput. When the toolchain supports -fsanitize=fuzzer
+// (clang), the FDB_FUZZ build links libFuzzer's own main and this file is
+// not compiled. Everywhere else — notably GCC-only environments, where
+// libFuzzer does not exist — this main() replays a checked-in corpus
+// through the same entry point: every file under the directories (or
+// files) given on the command line is fed to the harness once.
+//
+// The replay binaries are built in *every* configuration and registered as
+// ctest suites, so each corpus input runs under ASan/UBSan/the deep
+// validators on every CI push. A harness signals a finding the same way
+// under libFuzzer and under replay: it crashes (uncaught exception,
+// sanitizer fault, std::abort). Exit code 0 means the whole corpus was
+// digested cleanly.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<std::string> CollectInputs(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    fs::path p(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else {
+      std::fprintf(stderr, "replay: no such file or directory: %s\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> files = CollectInputs(argc, argv);
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    // A crash below is attributed by the last line printed.
+    std::fprintf(stderr, "replay: %s (%zu bytes)\n", path.c_str(),
+                 bytes.size());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::fprintf(stderr, "replay: %zu inputs, no findings\n", files.size());
+  return 0;
+}

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/asan.h"
 #include "common/types.h"
 #include "core/ftree.h"
 
@@ -158,6 +159,10 @@ class FRep {
         roots_(o.roots_),
         empty_(o.empty_) {
     FDB_CHECK_MSG(o.scratch_top_ == 0, "cannot copy an FRep with open builders");
+    // The freshly copied buffers carry no poison; re-arm their slack.
+    asan::PoisonTail(values_);
+    asan::PoisonTail(children_);
+    asan::PoisonTail(headers_);
   }
   FRep& operator=(const FRep& o) {
     if (this != &o) *this = FRep(o);
@@ -221,6 +226,10 @@ class FRep {
   const UnionHeader& HeaderOf(uint32_t id) const { return headers_[id]; }
   size_t ValueArenaSize() const { return values_.size(); }
   size_t ChildArenaSize() const { return children_.size(); }
+  /// Allocated (not just live) value-arena entries. The slack
+  /// [ValueArenaSize(), ValueArenaCapacity()) is ASan-poisoned between
+  /// mutations (common/asan.h); tests/asan_poison_test.cc probes it.
+  size_t ValueArenaCapacity() const { return values_.capacity(); }
   /// Builders currently open (non-zero means arenas may still move).
   size_t OpenBuilders() const { return scratch_top_; }
 
@@ -358,7 +367,9 @@ inline void UnionBuilder::Abandon() {
 inline UnionBuilder FRep::StartUnion(int node) {
   UnionHeader h;
   h.node = node;
+  asan::UnpoisonTail(headers_);
   headers_.push_back(h);
+  asan::PoisonTail(headers_);
   return UnionBuilder(this, static_cast<uint32_t>(headers_.size()) - 1,
                       AcquireScratch());
 }
@@ -367,7 +378,12 @@ inline FRep::Scratch* FRep::AcquireScratch() {
   if (scratch_top_ == scratch_.size()) {
     scratch_.push_back(std::make_unique<Scratch>());
   }
-  return scratch_[scratch_top_++].get();
+  Scratch* s = scratch_[scratch_top_++].get();
+  // Recycled buffers are poisoned while parked (ReleaseScratch); re-admit
+  // them before the builder starts staging into them.
+  asan::UnpoisonBuffer(s->vals);
+  asan::UnpoisonBuffer(s->kids);
+  return s;
 }
 
 inline void FRep::ReleaseScratch(Scratch* s) {
@@ -377,6 +393,11 @@ inline void FRep::ReleaseScratch(Scratch* s) {
   // throws: this runs inside UnionBuilder's destructor.
   s->vals.clear();
   s->kids.clear();
+  // Parked scratch is logically dead until the next AcquireScratch; poison
+  // the whole buffers so a stale builder reference faults instead of
+  // reading recycled bytes.
+  asan::PoisonBuffer(s->vals);
+  asan::PoisonBuffer(s->kids);
   for (size_t i = scratch_top_; i > 0; --i) {
     if (scratch_[i - 1].get() == s) {
       std::swap(scratch_[i - 1], scratch_[scratch_top_ - 1]);
@@ -392,8 +413,16 @@ inline void FRep::CommitUnion(uint32_t id, const Scratch& s) {
   h.child_off = children_.size();
   h.len = static_cast<uint32_t>(s.vals.size());
   h.num_children = s.kids.size();
+  // The appends construct elements inside the (poisoned) slack when
+  // capacity suffices; open the slack for the writes, then re-arm it. A
+  // reallocating append frees the old buffer (ASan unpoisons on free) and
+  // the fresh one starts clean, so PoisonTail is correct either way.
+  asan::UnpoisonTail(values_);
   values_.insert(values_.end(), s.vals.begin(), s.vals.end());
+  asan::PoisonTail(values_);
+  asan::UnpoisonTail(children_);
   children_.insert(children_.end(), s.kids.begin(), s.kids.end());
+  asan::PoisonTail(children_);
 }
 
 }  // namespace fdb

@@ -15,11 +15,34 @@ namespace {
 constexpr const char* kMagic = "fdb-frep";
 constexpr int kVersion = 1;
 
+// Hard cap on serialized f-tree node ids. Node records may legitimately
+// leave gaps (dead nodes keep their pool slot), but the reader materialises
+// the whole pool up to the largest id — without a cap, a single forged
+// `node 999999999 ...` line makes a kilobyte file allocate gigabytes before
+// any validation runs. Real pools are tiny (one node per attribute class);
+// 2^16 leaves orders of magnitude of headroom.
+constexpr int64_t kMaxNodeId = (int64_t{1} << 16) - 1;
+
+// Strict fixed-width hex: non-empty, hex digits only, at most 16 of them
+// (one uint64). istream's `>> std::hex` is too lenient for an untrusted
+// boundary — it silently accepts trailing garbage ("12xy" parses as 0x12)
+// and a leading '-' wraps through negation.
 uint64_t ParseHex(const std::string& s) {
+  FDB_CHECK_MSG(!s.empty() && s.size() <= 16, "bad hex field: " + s);
   uint64_t v = 0;
-  std::istringstream is(s);
-  is >> std::hex >> v;
-  FDB_CHECK_MSG(!is.fail(), "bad hex field: " + s);
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      throw FdbError("bad hex field: " + s);
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
   return v;
 }
 
@@ -140,21 +163,24 @@ FRep ReadFRep(std::istream& in) {
       FDB_CHECK_MSG(tok.size() == 8, "bad node record: " + line);
       NodeRec n;
       int64_t id, parent;
-      FDB_CHECK_MSG(ParseInt64(tok[1], &id), "bad node id");
+      FDB_CHECK_MSG(ParseInt64(tok[1], &id) && id >= 0 && id <= kMaxNodeId,
+                    "bad node id");
       n.id = static_cast<int>(id);
       n.attrs = ParseHex(Field(tok[2], "attrs"));
       n.visible = ParseHex(Field(tok[3], "visible"));
       n.cover = ParseHex(Field(tok[4], "cover"));
       n.dep = ParseHex(Field(tok[5], "dep"));
       n.constant = Field(tok[6], "const") == "1";
-      FDB_CHECK_MSG(ParseInt64(Field(tok[7], "parent"), &parent),
+      FDB_CHECK_MSG(ParseInt64(Field(tok[7], "parent"), &parent) &&
+                        parent >= -1 && parent <= kMaxNodeId,
                     "bad parent id");
       n.parent = static_cast<int>(parent);
       nodes.push_back(n);
     } else if (kind == "troot") {
       FDB_CHECK_MSG(tok.size() == 2, "bad troot record: " + line);
       int64_t id;
-      FDB_CHECK_MSG(ParseInt64(tok[1], &id), "bad troot id");
+      FDB_CHECK_MSG(ParseInt64(tok[1], &id) && id >= 0 && id <= kMaxNodeId,
+                    "bad troot id");
       troots.push_back(static_cast<int>(id));
     } else if (kind == "empty" || kind == "nonempty") {
       empty = kind == "empty";
@@ -164,7 +190,9 @@ FRep ReadFRep(std::istream& in) {
       UnionRec u;
       FDB_CHECK_MSG(ParseInt64(tok[1], &u.id), "bad union id");
       int64_t node;
-      FDB_CHECK_MSG(ParseInt64(Field(tok[2], "node"), &node), "bad node ref");
+      FDB_CHECK_MSG(ParseInt64(Field(tok[2], "node"), &node) && node >= 0 &&
+                        node <= kMaxNodeId,
+                    "bad node ref");
       u.node = static_cast<int>(node);
       u.values = ParseIntList(Field(tok[3], "values"));
       u.children = ParseIntList(Field(tok[4], "children"));
@@ -196,6 +224,8 @@ FRep ReadFRep(std::istream& in) {
   }
   for (const NodeRec& n : nodes) {
     FDB_CHECK_MSG(n.id >= 0 && n.id <= max_id, "node id out of range");
+    FDB_CHECK_MSG(!alive[static_cast<size_t>(n.id)],
+                  "duplicate node record for id " + std::to_string(n.id));
     FTreeNode& nd = tree.node(n.id);
     nd.attrs = AttrSet(n.attrs);
     nd.visible = AttrSet(n.visible);
@@ -215,7 +245,36 @@ FRep ReadFRep(std::istream& in) {
       tree.node(n.parent).children.push_back(n.id);
     }
   }
-  for (int r : troots) tree.AttachRoot(r);
+  {
+    std::vector<char> is_root(static_cast<size_t>(max_id) + 1, 0);
+    for (int r : troots) {
+      FDB_CHECK_MSG(r <= max_id && alive[static_cast<size_t>(r)],
+                    "dangling troot reference");
+      FDB_CHECK_MSG(!is_root[static_cast<size_t>(r)],
+                    "duplicate troot record");
+      is_root[static_cast<size_t>(r)] = 1;
+      tree.AttachRoot(r);
+    }
+  }
+  // Reject parent cycles and detached alive nodes: every alive node must be
+  // reachable from a root through the children lists. A cyclic parent chain
+  // would otherwise pass the shallow Validate() below (every member of the
+  // cycle has a consistent parent) and then hang the CountTuples DP.
+  {
+    size_t reached = 0;
+    std::vector<char> seen(static_cast<size_t>(max_id) + 1, 0);
+    std::vector<int> stack(tree.roots().begin(), tree.roots().end());
+    while (!stack.empty()) {
+      int id = stack.back();
+      stack.pop_back();
+      if (seen[static_cast<size_t>(id)]) continue;
+      seen[static_cast<size_t>(id)] = 1;
+      ++reached;
+      for (int c : tree.node(id).children) stack.push_back(c);
+    }
+    FDB_CHECK_MSG(reached == nodes.size(),
+                  "cyclic parent chain or alive node unreachable from roots");
+  }
 
   FRep rep(std::move(tree));
   if (!empty) {
@@ -232,6 +291,11 @@ FRep ReadFRep(std::istream& in) {
     }
     for (size_t i = 0; i < n_unions; ++i) {
       const UnionRec& u = *by_id[i];
+      // The node binding must be checked here: StartUnion stores the id
+      // unchecked, and the Validate() walk below dereferences it through
+      // FTree::node() — an out-of-pool id would read out of bounds.
+      FDB_CHECK_MSG(u.node <= max_id && alive[static_cast<size_t>(u.node)],
+                    "union bound to missing tree node");
       UnionBuilder nu = rep.StartUnion(u.node);
       for (int64_t v : u.values) nu.AddValue(v);
       for (int64_t c : u.children) {

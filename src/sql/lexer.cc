@@ -2,10 +2,15 @@
 
 #include <cctype>
 
+#include "common/str.h"
+
 namespace fdb {
 namespace sql {
 
 std::vector<Token> Lex(const std::string& in) {
+  FDB_CHECK_MSG(in.size() <= kMaxSqlBytes,
+                "SQL statement exceeds " + std::to_string(kMaxSqlBytes) +
+                    " bytes");
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = in.size();
@@ -25,6 +30,9 @@ std::vector<Token> Lex(const std::string& in) {
                        in[i] == '_')) {
         ++i;
       }
+      FDB_CHECK_MSG(i - b <= kMaxTokenBytes,
+                    "identifier exceeds " + std::to_string(kMaxTokenBytes) +
+                        " bytes at position " + std::to_string(pos));
       push(TokenKind::kIdent, in.substr(b, i - b), pos);
       continue;
     }
@@ -34,7 +42,13 @@ std::vector<Token> Lex(const std::string& in) {
       size_t b = i;
       if (c == '-') ++i;
       while (i < n && std::isdigit(static_cast<unsigned char>(in[i]))) ++i;
-      push(TokenKind::kInt, "", pos, std::stoll(in.substr(b, i - b)));
+      // ParseInt64, not std::stoll: an out-of-range literal must surface as
+      // FdbError (the serve path's error contract), not std::out_of_range.
+      int64_t v;
+      FDB_CHECK_MSG(ParseInt64(in.substr(b, i - b), &v),
+                    "integer literal out of range at position " +
+                        std::to_string(pos));
+      push(TokenKind::kInt, "", pos, v);
       continue;
     }
     switch (c) {
@@ -43,6 +57,10 @@ std::vector<Token> Lex(const std::string& in) {
         while (i < n && in[i] != '\'') ++i;
         FDB_CHECK_MSG(i < n, "unterminated string literal at position " +
                                  std::to_string(pos));
+        FDB_CHECK_MSG(i - b <= kMaxTokenBytes,
+                      "string literal exceeds " +
+                          std::to_string(kMaxTokenBytes) +
+                          " bytes at position " + std::to_string(pos));
         push(TokenKind::kString, in.substr(b, i - b), pos);
         ++i;
         continue;

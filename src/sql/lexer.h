@@ -10,6 +10,16 @@
 namespace fdb {
 namespace sql {
 
+// Untrusted-input bounds. SQL arrives from clients (serve/protocol.h) and
+// must fail with a parse error, never with resource exhaustion: the caps
+// below bound what a single statement can make the lexer hold. Legitimate
+// queries sit orders of magnitude under both (identifiers are catalog
+// names; statements are written by humans or query generators).
+/// Longest accepted statement, in bytes.
+inline constexpr size_t kMaxSqlBytes = size_t{1} << 20;  // 1 MiB
+/// Longest accepted identifier or string-literal body, in bytes.
+inline constexpr size_t kMaxTokenBytes = size_t{1} << 12;  // 4 KiB
+
 enum class TokenKind {
   kIdent,    // bare identifier
   kInt,      // integer literal

@@ -35,6 +35,9 @@ Relation ReadCsv(std::istream& in, const std::string& rel_name, char sep,
     } else {
       id = catalog->AddAttribute(name, str_col);
     }
+    for (AttrId prev : attrs) {
+      FDB_CHECK_MSG(prev != id, "duplicate column name in CSV header: " + name);
+    }
     attrs.push_back(id);
     is_string.push_back(str_col);
   }

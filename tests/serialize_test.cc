@@ -130,6 +130,64 @@ TEST(Serialize, RejectsMalformedInput) {
       FdbError);
 }
 
+// Fuzz-found crash classes (fuzz/corpus/frep_read/): each of these inputs
+// used to reach an abort, undefined behaviour or an unbounded allocation
+// instead of the header's promised FdbError.
+TEST(Serialize, RejectsFuzzFoundCrashClasses) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return ReadFRep(in);
+  };
+  const std::string node0 =
+      "node 0 attrs=1 visible=1 cover=1 dep=1 const=0 parent=-1\n";
+  // Hex with trailing garbage was silently truncated ("1zz" -> 0x1).
+  EXPECT_THROW(parse("fdb-frep 1\n"
+                     "node 0 attrs=1zz visible=1 cover=1 dep=1 const=0 "
+                     "parent=-1\ntroot 0\nempty\nend\n"),
+               FdbError);
+  // More than 16 hex digits overflows uint64; a sign must not negate-wrap.
+  EXPECT_THROW(parse("fdb-frep 1\n"
+                     "node 0 attrs=ffffffffffffffffff visible=1 cover=1 "
+                     "dep=1 const=0 parent=-1\ntroot 0\nempty\nend\n"),
+               FdbError);
+  EXPECT_THROW(parse("fdb-frep 1\n"
+                     "node 0 attrs=-1 visible=1 cover=1 dep=1 const=0 "
+                     "parent=-1\ntroot 0\nempty\nend\n"),
+               FdbError);
+  // A huge node id must be refused up front, not drive the pool rebuild
+  // into a multi-gigabyte allocation before validation runs.
+  EXPECT_THROW(parse("fdb-frep 1\n"
+                     "node 999999999 attrs=1 visible=1 cover=1 dep=1 "
+                     "const=0 parent=-1\ntroot 999999999\nempty\nend\n"),
+               FdbError);
+  // Out-of-pool troot dereferenced FTree::node() out of bounds.
+  EXPECT_THROW(parse("fdb-frep 1\n" + node0 + "troot 7\nempty\nend\n"),
+               FdbError);
+  // Out-of-pool union node binding dereferenced the tree during Validate.
+  EXPECT_THROW(parse("fdb-frep 1\n" + node0 +
+                     "troot 0\nnonempty\n"
+                     "union 0 node=9 values=1 children=\nuroot 0\nend\n"),
+               FdbError);
+  // Duplicate node records doubled children lists; duplicate troots
+  // duplicated roots.
+  EXPECT_THROW(parse("fdb-frep 1\n" + node0 + node0 + "troot 0\nempty\nend\n"),
+               FdbError);
+  EXPECT_THROW(
+      parse("fdb-frep 1\n" + node0 + "troot 0\ntroot 0\nempty\nend\n"),
+      FdbError);
+  // A self-parent cycle passed the shallow tree Validate() and then hung
+  // the CountTuples DP.
+  EXPECT_THROW(parse("fdb-frep 1\n" + node0 +
+                     "node 1 attrs=2 visible=2 cover=1 dep=1 const=0 "
+                     "parent=1\ntroot 0\nempty\nend\n"),
+               FdbError);
+  // Parent reference to a node the file never declares.
+  EXPECT_THROW(parse("fdb-frep 1\n" + node0 +
+                     "node 1 attrs=2 visible=2 cover=1 dep=1 const=0 "
+                     "parent=30000\ntroot 0\nempty\nend\n"),
+               FdbError);
+}
+
 TEST(Serialize, CommentsAndBlankLinesIgnored) {
   Relation r = MakeRel({0}, {{1}, {2}});
   FRep rep = GroundRelation(r, 0);

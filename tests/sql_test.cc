@@ -166,5 +166,42 @@ TEST_F(ParserTest, AggregateErrors) {
   EXPECT_THROW(Parse("SELECT SUM(bogus) FROM Orders"), FdbError);
 }
 
+// Untrusted-input bounds (fuzz regression class, fuzz/corpus/sql/): hostile
+// statements must come back as FdbError, never as std::out_of_range, a
+// stack overflow or unbounded allocation.
+TEST(LexerLimits, OversizedTokensAndLiterals) {
+  // An identifier over kMaxTokenBytes is refused...
+  std::string huge_ident(sql::kMaxTokenBytes + 1, 'a');
+  EXPECT_THROW(Lex(huge_ident), FdbError);
+  // ...one at the cap is accepted.
+  std::string max_ident(sql::kMaxTokenBytes, 'a');
+  EXPECT_EQ(Lex(max_ident)[0].text.size(), sql::kMaxTokenBytes);
+  // Same cap for string-literal bodies.
+  EXPECT_THROW(Lex("'" + std::string(sql::kMaxTokenBytes + 1, 'x') + "'"),
+               FdbError);
+  // Out-of-int64-range literals were a crash class: std::stoll threw
+  // std::out_of_range through the serve path.
+  EXPECT_THROW(Lex("select a from r where a = 99999999999999999999999"),
+               FdbError);
+  EXPECT_THROW(Lex("-99999999999999999999999"), FdbError);
+  // INT64_MIN/MAX still lex.
+  EXPECT_EQ(Lex("9223372036854775807")[0].value, INT64_MAX);
+  EXPECT_EQ(Lex("-9223372036854775808")[0].value, INT64_MIN);
+}
+
+TEST(LexerLimits, OversizedStatement) {
+  std::string big(sql::kMaxSqlBytes + 1, ' ');
+  EXPECT_THROW(Lex(big), FdbError);
+}
+
+TEST_F(ParserTest, DeeplyNestedParensIsAParseErrorNotAStackOverflow) {
+  std::string parens(100000, '(');
+  EXPECT_THROW(Parse("SELECT * FROM Orders WHERE " + parens + "oid = 1"),
+               FdbError);
+  EXPECT_THROW(Parse("SELECT COUNT" + parens + "*" + std::string(100000, ')') +
+                     " FROM Orders"),
+               FdbError);
+}
+
 }  // namespace
 }  // namespace fdb

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""fdb_lint: project-invariant checks the compiler cannot express.
+
+Rules (each reported as path:line: [rule] message):
+
+  raw-threading      No std::mutex / std::shared_mutex / std::thread /
+                     std::condition_variable outside src/common/. Everything
+                     else goes through the annotated wrappers in
+                     common/mutex.h or the pool in common/thread_pool.h, so
+                     clang Thread Safety Analysis sees every lock.
+                     (std::thread::hardware_concurrency is a query, not a
+                     thread, and is allowed.)
+
+  guarded-mutex      A file declaring a Mutex/SharedMutex member must
+                     annotate at least one member GUARDED_BY(that mutex) —
+                     an unreferenced mutex guards nothing and silently
+                     drops out of Thread Safety Analysis.
+
+  validated-ops      Every operator translation unit (src/core/ops_*.cc)
+                     must invoke an FDB_VALIDATE_* macro (core/validate.h)
+                     so FDB_VALIDATE builds deep-check operator results.
+
+  include-guard      Headers carry the path-derived guard FDB_<PATH>_H_
+                     (src/ stripped), e.g. src/core/frep.h uses
+                     FDB_CORE_FREP_H_.
+
+  no-abort-on-input  Modules that parse untrusted bytes (src/sql/,
+                     src/core/serialize.cc, src/storage/csv.cc,
+                     src/serve/protocol.cc) must not contain abort-path
+                     constructs (FDB_ASSERT, FDB_DCHECK, assert(, abort()).
+                     Malformed input must throw FdbError — the fuzz
+                     harnesses in fuzz/ enforce the same contract at
+                     runtime; this rule enforces it statically.
+
+Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
+--self-test seeds one violation per rule through the checkers and fails if
+any rule does NOT fire (the armed-probe pattern: prove the lint is live).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Helpers
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '/' and i + 1 < n and text[i + 1] == '/':
+            while i < n and text[i] != '\n':
+                i += 1
+        elif c == '/' and i + 1 < n and text[i + 1] == '*':
+            j = text.find('*/', i + 2)
+            j = n if j < 0 else j + 2
+            out.append('\n' * text.count('\n', i, j))
+            i = j
+        elif c in '"\'':
+            # Skip string/char literals so quoted code is not matched.
+            quote, i = c, i + 1
+            out.append(quote)
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == '\\' else 1
+            i += 1
+            out.append(quote)
+        else:
+            out.append(c)
+            i += 1
+    return ''.join(out)
+
+
+def findings_for(lines_re, text, make_msg):
+    out = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = lines_re.search(line)
+        if m:
+            out.append((lineno, make_msg(m)))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Rules. Each checker takes (relpath: str, text: str) and returns a list of
+# (lineno, message); scoping (which files a rule applies to) lives in the
+# checker itself so --self-test can exercise it with synthetic paths.
+
+RAW_THREADING_RE = re.compile(
+    r'std::(mutex|shared_mutex|condition_variable(_any)?|thread)\b'
+    r'(?!::hardware_concurrency)')
+
+
+def check_raw_threading(relpath, text):
+    if not relpath.startswith('src/') or relpath.startswith('src/common/'):
+        return []
+    return findings_for(
+        RAW_THREADING_RE, strip_comments(text),
+        lambda m: '[raw-threading] raw std::%s outside src/common/ — use '
+                  'the annotated wrappers in common/mutex.h or '
+                  'common/thread_pool.h' % m.group(1))
+
+
+MUTEX_MEMBER_RE = re.compile(
+    r'^\s*(?:mutable\s+)?(?:Mutex|SharedMutex)\s+(\w+)\s*;')
+
+
+def check_guarded_mutex(relpath, text):
+    if not relpath.startswith(('src/', 'fuzz/')):
+        return []
+    if relpath == 'src/common/mutex.h':  # defines the wrappers themselves
+        return []
+    stripped = strip_comments(text)
+    out = []
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        m = MUTEX_MEMBER_RE.match(line)
+        if m and ('GUARDED_BY(%s)' % m.group(1)) not in stripped:
+            out.append((lineno,
+                        '[guarded-mutex] mutex member %s has no '
+                        'GUARDED_BY(%s) annotation on any member — Thread '
+                        'Safety Analysis cannot see what it protects'
+                        % (m.group(1), m.group(1))))
+    return out
+
+
+VALIDATED_OPS_RE = re.compile(r'\bFDB_VALIDATE_\w+\s*\(')
+
+
+def check_validated_ops(relpath, text):
+    if not re.fullmatch(r'src/core/ops_\w+\.cc', relpath):
+        return []
+    if VALIDATED_OPS_RE.search(strip_comments(text)):
+        return []
+    return [(1, '[validated-ops] operator translation unit never invokes an '
+                'FDB_VALIDATE_* macro (core/validate.h)')]
+
+
+def expected_guard(relpath):
+    p = relpath[len('src/'):] if relpath.startswith('src/') else relpath
+    return 'FDB_' + re.sub(r'[^A-Za-z0-9]', '_', p).upper() + '_'
+
+
+def check_include_guard(relpath, text):
+    if not relpath.endswith('.h'):
+        return []
+    if not relpath.startswith(('src/', 'fuzz/')):
+        return []
+    guard = expected_guard(relpath)
+    stripped = strip_comments(text)
+    if re.search(r'^\s*#ifndef\s+%s\s*$' % re.escape(guard), stripped, re.M) \
+            and re.search(r'^\s*#define\s+%s\s*$' % re.escape(guard),
+                          stripped, re.M):
+        return []
+    return [(1, '[include-guard] header must use the path-derived guard '
+                + guard)]
+
+
+INPUT_PARSING_FILES = re.compile(
+    r'src/sql/[^/]+\.(h|cc)|src/core/serialize\.cc|src/storage/csv\.cc'
+    r'|src/serve/protocol\.cc')
+
+ABORT_PATH_RE = re.compile(
+    r'\b(FDB_ASSERT|FDB_DCHECK)\b|(?<![\w.])(std::)?abort\s*\('
+    r'|(?<![\w.])assert\s*\(')
+
+
+def check_no_abort_on_input(relpath, text):
+    if not INPUT_PARSING_FILES.fullmatch(relpath):
+        return []
+    return findings_for(
+        ABORT_PATH_RE, strip_comments(text),
+        lambda m: '[no-abort-on-input] abort-path construct in an '
+                  'untrusted-input module — malformed input must throw '
+                  'FdbError, never kill the process')
+
+
+CHECKERS = [
+    check_raw_threading,
+    check_guarded_mutex,
+    check_validated_ops,
+    check_include_guard,
+    check_no_abort_on_input,
+]
+
+# --------------------------------------------------------------------------
+# Driver
+
+
+def lint_tree(root):
+    findings = []
+    nfiles = 0
+    for sub in ('src', 'fuzz'):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob('*')):
+            if path.suffix not in ('.h', '.cc'):
+                continue
+            relpath = path.relative_to(root).as_posix()
+            text = path.read_text(encoding='utf-8', errors='replace')
+            nfiles += 1
+            for checker in CHECKERS:
+                for lineno, msg in checker(relpath, text):
+                    findings.append('%s:%d: %s' % (relpath, lineno, msg))
+    return findings, nfiles
+
+
+# One deliberate violation per rule; --self-test fails unless every rule
+# fires on its seed (and stays quiet on the clean twin).
+SELF_TEST_CASES = [
+    (check_raw_threading, 'src/core/x.cc',
+     'static std::mutex mu;\n', 'std::thread::hardware_concurrency();\n'),
+    (check_guarded_mutex, 'src/serve/x.h',
+     'class C {\n  Mutex mu_;\n  int n_;\n};\n',
+     'class C {\n  Mutex mu_;\n  int n_ GUARDED_BY(mu_);\n};\n'),
+    (check_validated_ops, 'src/core/ops_x.cc',
+     'void Op() {}\n', 'void Op() { FDB_VALIDATE_REP(rep); }\n'),
+    (check_include_guard, 'src/core/x.h',
+     '#ifndef WRONG_H\n#define WRONG_H\n#endif\n',
+     '#ifndef FDB_CORE_X_H_\n#define FDB_CORE_X_H_\n#endif\n'),
+    (check_no_abort_on_input, 'src/sql/x.cc',
+     'void f() { FDB_ASSERT(ok); }\n',
+     'void f() { FDB_CHECK_MSG(ok, "bad input"); }\n'),
+]
+
+
+def self_test():
+    failures = []
+    for checker, relpath, bad, good in SELF_TEST_CASES:
+        name = checker.__name__
+        if not checker(relpath, bad):
+            failures.append('%s did NOT fire on its seeded violation' % name)
+        if checker(relpath, good):
+            failures.append('%s fired on its clean twin' % name)
+    for msg in failures:
+        print('fdb_lint --self-test: %s' % msg, file=sys.stderr)
+    if not failures:
+        print('fdb_lint --self-test: OK (%d rules armed)' % len(CHECKERS))
+    return 1 if failures else 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument('--root', default='.', help='repository root')
+    ap.add_argument('--self-test', action='store_true',
+                    help='verify every rule fires on a seeded violation')
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    root = Path(args.root)
+    if not (root / 'src').is_dir():
+        print('fdb_lint: %s does not look like the repo root (no src/)'
+              % root, file=sys.stderr)
+        return 2
+    findings, nfiles = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print('fdb_lint: %d finding(s) in %d files'
+              % (len(findings), nfiles), file=sys.stderr)
+        return 1
+    print('fdb_lint: OK (%d files, %d rules)' % (nfiles, len(CHECKERS)))
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main(sys.argv[1:]))
