@@ -23,6 +23,8 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -88,7 +90,21 @@ struct LoadResult {
   size_t requests = 0;
   double p50 = 0, p95 = 0, p99 = 0;  // seconds
   ServerStats stats;
+  std::string exposition;  // STATS snapshot taken after the load drained
 };
+
+// Pulls one sample value out of a Prometheus text exposition. Parsing the
+// serve's own STATS output (rather than reaching into the registry) keeps
+// the bench honest about what an operator can actually observe.
+double ExpoValue(const std::string& expo, const std::string& name) {
+  std::istringstream is(expo);
+  std::string line;
+  const std::string needle = name + " ";
+  while (std::getline(is, line)) {
+    if (line.rfind(needle, 0) == 0) return std::stod(line.substr(needle.size()));
+  }
+  return 0.0;
+}
 
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -143,6 +159,7 @@ LoadResult RunClosedLoop(Database* db, int clients, int per_client,
   res.p95 = Percentile(all, 0.95);
   res.p99 = Percentile(all, 0.99);
   res.stats = server.stats();
+  res.exposition = server.MetricsExposition();
   return res;
 }
 
@@ -215,6 +232,35 @@ void Run(Report& report) {
       table.AddRow({FmtInt(static_cast<uint64_t>(clients)),
                     FmtDouble(cold_qps, 0), FmtDouble(warm_qps, 0),
                     FmtDouble(warm_qps / cold_qps, 2)});
+    }
+    report.Emit(std::cout, table);
+  }
+
+  // Phase breakdown from the serve histograms (STATS exposition) of the
+  // highest-concurrency cold and warm runs: where a request's wall time
+  // actually goes. Warm must collapse execute (no optimisation) while
+  // queue-wait grows with contention.
+  report.BeginSection(std::cout,
+                      "Serve phase breakdown (8 clients, from STATS "
+                      "histograms, seconds)");
+  {
+    Table table({"run", "phase", "count", "mean", "p50", "p95", "p99", "max"});
+    const auto& last = by_clients.back().second;
+    for (const auto& [run, lr] :
+         {std::pair<const char*, const LoadResult*>{"cold", &last.first},
+          std::pair<const char*, const LoadResult*>{"warm", &last.second}}) {
+      for (const char* phase :
+           {"queue_wait", "cache_lookup", "execute", "render"}) {
+        std::string base = std::string("fdb_serve_") + phase + "_seconds";
+        double count = ExpoValue(lr->exposition, base + "_count");
+        double sum = ExpoValue(lr->exposition, base + "_sum");
+        table.AddRow({run, phase, FmtDouble(count, 0),
+                      FmtSci(count > 0 ? sum / count : 0.0),
+                      FmtSci(ExpoValue(lr->exposition, base + "_p50")),
+                      FmtSci(ExpoValue(lr->exposition, base + "_p95")),
+                      FmtSci(ExpoValue(lr->exposition, base + "_p99")),
+                      FmtSci(ExpoValue(lr->exposition, base + "_max"))});
+      }
     }
     report.Emit(std::cout, table);
   }

@@ -15,7 +15,9 @@
 // tests/parallel_enumerate_test.cc); the table reports wall time (best of
 // FDB_EXP8_REPS runs), throughput and the speedup vs 1 thread. A second
 // table times the parallel MaterializeVisible sink on the star workload,
-// with the compiled enumeration kernel (core/kernel.h) on and off.
+// with the compiled enumeration kernel (core/kernel.h) on and off. A third
+// traces the star query end-to-end and reports the per-phase span times
+// plus how much of the total the phases cover (>= 90% required).
 //
 // The host's hardware concurrency is recorded alongside: on machines with
 // fewer cores than the thread column the speedup is bounded by the
@@ -36,6 +38,7 @@
 #include "bench_util/workload.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/kernel.h"
 #include "core/parallel_enumerate.h"
 
@@ -202,6 +205,41 @@ void Run(Report& report) {
       }
     }
     report.Emit(std::cout, table);
+
+    // Query-lifecycle trace of the same star query: the per-phase wall
+    // times EXPLAIN ANALYZE reports, and how much of the end-to-end time
+    // the phase spans account for (must stay >= 90%: the spans are the
+    // observability story, so untraced gaps have to stay small).
+    report.BeginSection(std::cout,
+                        "Traced star query: phase breakdown (EXPLAIN "
+                        "ANALYZE spans)");
+    {
+      QueryTrace trace;
+      {
+        QueryTrace::Scope root(&trace, "query");
+        FdbResult traced = engine.ExecuteTraced(star.query, &trace);
+      }
+      Table spans({"span", "depth", "time", "rows", "bytes"});
+      double root_seconds = 0, phase_sum = 0;
+      for (const QueryTrace::Span& sp : trace.spans()) {
+        if (sp.depth == 0) root_seconds = sp.seconds;
+        if (sp.depth == 1) phase_sum += sp.seconds;
+        spans.AddRow({std::string(static_cast<size_t>(sp.depth) * 2, ' ') +
+                          sp.name,
+                      FmtInt(static_cast<uint64_t>(sp.depth)),
+                      FmtSecs(sp.seconds),
+                      sp.has_rows ? FmtInt(sp.rows) : "-",
+                      sp.has_bytes ? FmtInt(sp.bytes) : "-"});
+      }
+      report.Emit(std::cout, spans);
+      Table coverage({"root total", "phase sum", "coverage %"});
+      coverage.AddRow({FmtSecs(root_seconds), FmtSecs(phase_sum),
+                       FmtDouble(root_seconds > 0
+                                     ? 100.0 * phase_sum / root_seconds
+                                     : 0.0,
+                                 1)});
+      report.Emit(std::cout, coverage);
+    }
   }
 
   {

@@ -35,6 +35,29 @@ if [ -f "$CACHE" ]; then
     exit 1
   fi
 fi
+# Provenance: every BENCH_*.json stamps the commit it was built from
+# (git_sha, via the env var below). A dirty tree would stamp a SHA whose
+# code does not match what actually ran, so refuse it outright; set
+# FDB_BENCH_ALLOW_DIRTY=1 to override for local experiments — the artifact
+# then carries "<sha>-dirty" so it can never masquerade as a clean run.
+if git -C . rev-parse --git-dir >/dev/null 2>&1; then
+  SHA=$(git -C . rev-parse HEAD)
+  if [ -n "$(git -C . status --porcelain)" ]; then
+    if [ "${FDB_BENCH_ALLOW_DIRTY:-0}" = "1" ]; then
+      SHA="${SHA}-dirty"
+      echo "warning: dirty working tree — stamping git_sha=$SHA" >&2
+    else
+      echo "error: working tree is dirty; bench artifacts must map to a" >&2
+      echo "commit. Commit or stash first, or set FDB_BENCH_ALLOW_DIRTY=1" >&2
+      echo "to stamp '<sha>-dirty' instead." >&2
+      exit 1
+    fi
+  fi
+  FDB_BENCH_GIT_SHA="$SHA"
+  export FDB_BENCH_GIT_SHA
+else
+  echo "warning: not a git checkout — artifacts will stamp git_sha=unknown" >&2
+fi
 mkdir -p "$OUT_DIR"
 
 # Parallel-speedup benches (exp8, the serve hammer) need real cores; on a

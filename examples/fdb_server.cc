@@ -15,8 +15,13 @@
 //               connections multiplex onto the shared worker pool
 // Requests are one SQL statement per line; responses are framed as
 // OK <n-lines>/ERR/TIMEOUT (see serve/protocol.h). Commands:
-//   \stats      server counters incl. plan cache hit/miss/eviction
+//   STATS       Prometheus-style metrics exposition (counters + latency
+//               histograms), framed as a regular OK body so pipelining
+//               clients stay in sync
+//   \stats      one-line legacy counter summary (unframed)
 //   \q          quit (pipe mode) / close the connection (socket mode)
+// EXPLAIN ANALYZE <query> is plain SQL: the server answers with the
+// query's span tree instead of its rows.
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -77,6 +82,12 @@ bool HandleLine(QueryServer& server, const std::string& line,
   }
   if (line == "\\stats") {
     *out = StatsLine(server);
+    return true;
+  }
+  if (IsStatsRequest(line)) {
+    *out = FrameResponse(ServeResponse{ServeStatus::kOk,
+                                       server.MetricsExposition(), false,
+                                       false});
     return true;
   }
   *out = FrameResponse(server.Query(line));

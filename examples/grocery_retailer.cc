@@ -97,7 +97,7 @@ int main() {
 
   std::vector<const Relation*> q1_rels = {&db.relation(0), &db.relation(1),
                                           &db.relation(2)};
-  FdbResult r1{GroundQuery(t1, q1_rels), FPlan{}, 0.0, 0.0, {}};
+  FdbResult r1{GroundQuery(t1, q1_rels), FPlan{}, 0.0, 0.0, {}, {}};
   std::cout << "f-tree T1 for Q1:\n" << t1.ToString(&db.catalog()) << "\n";
   Show("Q1 factorised over T1 (compare Example 1):", r1.rep, db);
 

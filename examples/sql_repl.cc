@@ -5,7 +5,9 @@
 // Each CSV file is loaded as a relation named after the file stem. Then
 // SPJ SQL queries are read line by line from stdin; every query is
 // answered by FDB (factorised expression + stats) and cross-checked by the
-// RDB baseline. Without arguments a demo database is preloaded. Commands:
+// RDB baseline. EXPLAIN ANALYZE <query> prints the query's phase span tree
+// (common/trace.h) instead. Without arguments a demo database is
+// preloaded. Commands:
 //   \d          list relations
 //   \q          quit
 #include <filesystem>
@@ -80,7 +82,11 @@ int main(int argc, char** argv) {
     } else if (!q.empty()) {
       try {
         FdbResult res = engine.Execute(q);
-        if (res.aggregate.has_value()) {
+        if (res.explain.has_value()) {
+          // EXPLAIN ANALYZE: print the span tree; the baselines measure
+          // nothing comparable, so the cross-checks are skipped.
+          std::cout << *res.explain;
+        } else if (res.aggregate.has_value()) {
           const GroupedTable& tbl = *res.aggregate;
           for (AttrId a : tbl.group_schema) {
             std::cout << db.catalog().attr(a).name << "  ";

@@ -11,19 +11,27 @@ FTreeSearchResult Engine::OptimizeFlat(const Query& q) {
 }
 
 FdbResult Engine::EvaluateFlat(const Query& q,
-                               const FTreeSearchResult* pretree) {
+                               const FTreeSearchResult* pretree,
+                               QueryTrace* trace) {
   QueryInfo info = AnalyzeQuery(db_->catalog(), q);
 
   Timer opt_timer;
-  FTreeSearchResult t = pretree ? *pretree : FindOptimalFTree(info, solver_);
-  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}};
+  FTreeSearchResult searched;
+  if (pretree == nullptr) {
+    QueryTrace::Scope span(trace, "f-tree-search");
+    searched = FindOptimalFTree(info, solver_);
+  }
+  const FTreeSearchResult& t = pretree != nullptr ? *pretree : searched;
+  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}, {}};
   res.optimize_seconds = opt_timer.Seconds();
 
   Timer eval_timer;
   std::vector<const Relation*> rels = db_->RelationPtrs(q.rels);
-  FRep rep = GroundQuery(t.tree, rels, q.const_preds);
+  FRep rep = GroundQuery(t.tree, rels, q.const_preds, trace);
   if (info.projection != info.all_attrs) {
+    QueryTrace::Scope span(trace, "project");
     rep = Project(rep, info.projection);
+    span.SetBytes(rep.MemoryBytes());
     res.plan.steps.push_back(PlanStep::MakeProject(info.projection));
   }
   res.evaluate_seconds = eval_timer.Seconds();
@@ -43,7 +51,7 @@ FPlanSearchResult Engine::OptimizeOnTree(
 FdbResult Engine::EvaluateOnFRep(
     const FRep& in, const std::vector<std::pair<AttrId, AttrId>>& eqs,
     const std::vector<ConstPred>& preds, AttrSet projection) {
-  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}};
+  FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}, {}};
 
   Timer opt_timer;
   // Constant selections are cheapest and run first (§4); they do not change
@@ -80,22 +88,31 @@ FdbResult Engine::JoinFactorised(
 }
 
 AggregateResult Engine::ExecuteAggregate(const Query& q,
-                                         const FTreeSearchResult* pretree) {
+                                         const FTreeSearchResult* pretree,
+                                         QueryTrace* trace) {
   AnalyzeQuery(db_->catalog(), q);  // validates group_by/aggregates early
 
   // Aggregates range over the distinct tuples of the join result taken
   // over all attributes, so the SPJ part runs without projection.
-  FdbResult base = EvaluateFlat(q.SpjCore(), pretree);
+  FdbResult base = EvaluateFlat(q.SpjCore(), pretree, trace);
 
   AggregateResult res;
   res.plan = std::move(base.plan);
   res.optimize_seconds = base.optimize_seconds;
 
   Timer agg_timer;
-  res.grouped = GroupByAggregate(base.rep, q.group_by, q.aggregates,
-                                 &solver_, &res.plan);
-  res.table = res.grouped.Materialize(opts_.enumerate);
-  res.table.SortByKey();
+  {
+    QueryTrace::Scope span(trace, "restructure-aggregate");
+    res.grouped = GroupByAggregate(base.rep, q.group_by, q.aggregates,
+                                   &solver_, &res.plan);
+    span.SetBytes(res.grouped.rep.MemoryBytes());
+  }
+  {
+    QueryTrace::Scope span(trace, "materialize-groups");
+    res.table = res.grouped.Materialize(opts_.enumerate);
+    res.table.SortByKey();
+    span.SetRows(res.table.num_rows);
+  }
   res.evaluate_seconds = base.evaluate_seconds + agg_timer.Seconds();
   return res;
 }
@@ -108,12 +125,47 @@ Query Engine::Parse(const std::string& sql_text) {
   return ParseSql(sql_text, db_->catalog(), &db_->dict());
 }
 
+FdbResult Engine::ExecuteTraced(const Query& q, QueryTrace* trace,
+                                const FTreeSearchResult* pretree,
+                                const EnumKernel* kernel) {
+  if (q.IsAggregate()) {
+    AggregateResult ar = ExecuteAggregate(q, pretree, trace);
+    FdbResult res{std::move(ar.grouped.rep), std::move(ar.plan),
+                  ar.optimize_seconds, ar.evaluate_seconds, {}, {}};
+    res.aggregate = std::move(ar.table);
+    return res;
+  }
+  FdbResult res = EvaluateFlat(q, pretree, trace);
+  if (trace != nullptr) {
+    // The SPJ result of plain Execute stays factorised (materialisation is
+    // the caller's call); EXPLAIN ANALYZE times the full pipeline, so
+    // enumerate the visible relation for the morsel-plan/enumerate spans.
+    MaterializeResult(res, kernel, trace);
+  }
+  return res;
+}
+
 FdbResult Engine::Execute(const std::string& sql_text) {
+  if (IsExplainAnalyze(sql_text)) {
+    QueryTrace trace;
+    FdbResult res{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}, {}};
+    {
+      QueryTrace::Scope root(&trace, "query");
+      Query q;
+      {
+        QueryTrace::Scope span(&trace, "parse");
+        q = Parse(sql_text);
+      }
+      res = ExecuteTraced(q, &trace);
+    }
+    res.explain = trace.Render();
+    return res;
+  }
   Query q = Parse(sql_text);
   if (q.IsAggregate()) {
     AggregateResult ar = ExecuteAggregate(q);
     FdbResult res{std::move(ar.grouped.rep), std::move(ar.plan),
-                  ar.optimize_seconds, ar.evaluate_seconds, {}};
+                  ar.optimize_seconds, ar.evaluate_seconds, {}, {}};
     res.aggregate = std::move(ar.table);
     return res;
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "api/database.h"
+#include "common/trace.h"
 #include "core/aggregate.h"
 #include "core/fplan.h"
 #include "core/frep.h"
@@ -51,6 +52,11 @@ struct FdbResult {
   /// Filled only when Execute() dispatched an aggregate query: the flat
   /// grouped table; `rep` then holds the factorised distinct groups.
   std::optional<GroupedTable> aggregate;
+
+  /// Filled only for EXPLAIN ANALYZE statements: the rendered span tree of
+  /// the execution (common/trace.h). Consumers should print this instead
+  /// of the result — serve/protocol.h's RenderResult does.
+  std::optional<std::string> explain;
 
   size_t NumSingletons() const { return rep.NumSingletons(); }
   double FlatTuples() const { return rep.CountTuples(); }
@@ -91,9 +97,12 @@ class Engine {
   /// Flat evaluation: optimal f-tree search + grounding (+ deferred
   /// projection). When `pretree` is given (a result of OptimizeFlat for
   /// the same query, e.g. from the serve-path plan cache), the search is
-  /// skipped and the cached tree is executed directly.
+  /// skipped and the cached tree is executed directly. A non-null `trace`
+  /// records "f-tree-search" (only when the search actually runs),
+  /// "ground" and "project" spans.
   FdbResult EvaluateFlat(const Query& q,
-                         const FTreeSearchResult* pretree = nullptr);
+                         const FTreeSearchResult* pretree = nullptr,
+                         QueryTrace* trace = nullptr);
 
   /// Optimal f-tree for a query without evaluating it (Experiment 1).
   FTreeSearchResult OptimizeFlat(const Query& q);
@@ -133,8 +142,11 @@ class Engine {
   /// core; the f-tree search ignores projection, grouping and aggregates,
   /// so OptimizeFlat(q) yields a tree valid for both the plain and the
   /// aggregate path of the same query.
+  /// A non-null `trace` records the EvaluateFlat spans of the SPJ core
+  /// plus "restructure-aggregate" and "materialize-groups" spans.
   AggregateResult ExecuteAggregate(const Query& q,
-                                   const FTreeSearchResult* pretree = nullptr);
+                                   const FTreeSearchResult* pretree = nullptr,
+                                   QueryTrace* trace = nullptr);
   AggregateResult ExecuteAggregate(const std::string& sql_text);
 
   /// Parses an SPJ / grouped-aggregate SQL string against the database.
@@ -148,7 +160,22 @@ class Engine {
   /// Parses and evaluates an SQL string. SPJ queries run the flat path;
   /// aggregate queries dispatch to ExecuteAggregate, returning the grouped
   /// table in FdbResult::aggregate with the factorised groups as `rep`.
+  /// An `EXPLAIN ANALYZE <query>` statement executes the query under a
+  /// QueryTrace (including result materialisation, which plain Execute
+  /// leaves to the caller) and returns the rendered span tree in
+  /// FdbResult::explain alongside the usual result fields.
   FdbResult Execute(const std::string& sql_text);
+
+  /// Evaluates a parsed query with every phase recorded into `trace`
+  /// (null = no tracing): the aggregate path runs ExecuteAggregate, the
+  /// SPJ path runs EvaluateFlat *and* materialises the visible relation —
+  /// optionally through `kernel` (see MaterializeResult) — so the trace
+  /// covers morsel planning and enumeration. This is the execution core of
+  /// EXPLAIN ANALYZE, both here and in the serve path, which wraps it in
+  /// its own root/parse/cache-lookup spans (serve/query_server.h).
+  FdbResult ExecuteTraced(const Query& q, QueryTrace* trace,
+                          const FTreeSearchResult* pretree = nullptr,
+                          const EnumKernel* kernel = nullptr);
 
   /// Materialises the visible relation of an evaluation result — the flat
   /// output tap of EvaluateFlat/Execute. Large representations enumerate
@@ -165,9 +192,9 @@ class Engine {
   /// kernel attached to the serve-path plan cache entry for this query
   /// (serve/plan_cache.h). Null or mismatching kernels fall back to the
   /// interpreted path, so callers can pass whatever the cache holds.
-  Relation MaterializeResult(const FdbResult& res,
-                             const EnumKernel* kernel) const {
-    return MaterializeVisible(res.rep, opts_.enumerate, kernel);
+  Relation MaterializeResult(const FdbResult& res, const EnumKernel* kernel,
+                             QueryTrace* trace = nullptr) const {
+    return MaterializeVisible(res.rep, opts_.enumerate, kernel, trace);
   }
 
   /// Baselines.

@@ -153,6 +153,31 @@ void JsonTable(std::ostream& os, const Table& table, const char* indent) {
   os << '\n' << indent << "]}";
 }
 
+// Provenance stamps. A BENCH_*.json is only comparable to another run if
+// both came from the same commit, compiler, and build type; downstream
+// tooling keys the perf trajectory on these fields.
+#if defined(__clang_version__)
+constexpr const char* kCompiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+constexpr const char* kCompiler = "gcc " __VERSION__;
+#else
+constexpr const char* kCompiler = "unknown";
+#endif
+
+#ifdef FDB_BUILD_TYPE
+constexpr const char* kBuildType = FDB_BUILD_TYPE;
+#else
+constexpr const char* kBuildType = "unknown";
+#endif
+
+// The binary cannot know its own commit; bench/run_all.sh exports
+// FDB_BENCH_GIT_SHA after verifying the tree is clean. Direct invocations
+// without it stamp "unknown" — honest, and distinguishable downstream.
+std::string GitSha() {
+  const char* sha = std::getenv("FDB_BENCH_GIT_SHA");
+  return sha != nullptr && sha[0] != '\0' ? sha : "unknown";
+}
+
 }  // namespace
 
 Report::Report(std::string bench_name, int argc, char** argv)
@@ -206,9 +231,16 @@ int Report::Finish() {
   JsonEscape(out, bench_name_);
   // Host parallelism stamp: parallel-speedup numbers are meaningless
   // without knowing how many cores the run actually had (a 1-core host
-  // cannot show any).
-  out << ",\n \"schema_version\": 1,\n \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n \"sections\": [";
+  // cannot show any). Schema v2 adds the provenance triple.
+  out << ",\n \"schema_version\": 2,\n \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency();
+  out << ",\n \"git_sha\": ";
+  JsonEscape(out, GitSha());
+  out << ",\n \"compiler\": ";
+  JsonEscape(out, kCompiler);
+  out << ",\n \"build_type\": ";
+  JsonEscape(out, kBuildType);
+  out << ",\n \"sections\": [";
   for (size_t s = 0; s < sections_.size(); ++s) {
     if (s) out << ',';
     const Section& sec = sections_[s];

@@ -1,7 +1,9 @@
 // Plain-text table/series reporting for the experiment harnesses. Each
 // bench binary prints the rows/series of the paper figure it regenerates,
 // and can additionally dump everything it printed as one machine-readable
-// JSON document (`--json out.json`) for the perf trajectory.
+// JSON document (`--json out.json`) for the perf trajectory. Every JSON
+// artifact is stamped with provenance (git_sha from $FDB_BENCH_GIT_SHA,
+// compiler, build type) so runs are only ever compared like-for-like.
 #ifndef FDB_BENCH_UTIL_REPORT_H_
 #define FDB_BENCH_UTIL_REPORT_H_
 

@@ -6,6 +6,22 @@
 
 namespace fdb {
 
+/// The project's canonical monotonic clock. All timing outside
+/// src/common/ and src/bench_util/ must go through this alias, Timer,
+/// Deadline or trace spans (common/trace.h) — naming
+/// std::chrono::steady_clock directly elsewhere is a lint violation
+/// (tools/fdb_lint.py raw-timing), so every clock read stays swappable
+/// and traceable from one place.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Absolute monotonic instant `seconds` from now (e.g. a request
+/// deadline).
+inline MonotonicClock::time_point MonotonicDeadline(double seconds) {
+  return MonotonicClock::now() +
+         std::chrono::duration_cast<MonotonicClock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
 /// Monotonic stopwatch.
 class Timer {
  public:
@@ -21,7 +37,7 @@ class Timer {
   double Millis() const { return Seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonotonicClock;
   Clock::time_point start_;
 };
 

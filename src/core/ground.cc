@@ -21,7 +21,8 @@ struct RelState {
 }  // namespace
 
 FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
-                 const std::vector<ConstPred>& preds) {
+                 const std::vector<ConstPred>& preds, QueryTrace* trace) {
+  QueryTrace::Scope span(trace, "ground");
   tree.Validate();
   FDB_CHECK_MSG(tree.SatisfiesPathConstraint(),
                 "grounding requires an f-tree satisfying the path constraint");
@@ -171,15 +172,17 @@ FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
     uint32_t rid = build(build, root);
     if (rid == kNoUnion) {
       out.MarkEmpty();
+      span.SetBytes(out.MemoryBytes());
       return out;
     }
     out.roots().push_back(rid);
   }
   FDB_VALIDATE_REP(out);
+  span.SetBytes(out.MemoryBytes());
   return out;
 }
 
-FRep GroundRelation(const Relation& rel, int rel_index) {
+FRep GroundRelation(const Relation& rel, int rel_index, QueryTrace* trace) {
   FDB_CHECK_MSG(rel.arity() > 0, "cannot factorise a nullary relation");
   FTree tree = PathFTree(rel.schema(), rel_index);
   std::vector<const Relation*> rels(static_cast<size_t>(rel_index) + 1,
@@ -189,7 +192,7 @@ FRep GroundRelation(const Relation& rel, int rel_index) {
   Relation empty({});
   for (auto& p : rels) p = &empty;
   rels[static_cast<size_t>(rel_index)] = &rel;
-  return GroundQuery(tree, rels);
+  return GroundQuery(tree, rels, {}, trace);
 }
 
 }  // namespace fdb

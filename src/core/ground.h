@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/trace.h"
 #include "core/frep.h"
 #include "storage/query.h"
 #include "storage/relation.h"
@@ -29,14 +30,18 @@ namespace fdb {
 /// while loading. Relations are copied, filtered and sorted internally;
 /// pass `presorted = true` when every relation is already sorted by its
 /// class path order (saves the copy, used by benchmarks that reuse inputs).
+/// A non-null `trace` records a "ground" span carrying the result's
+/// MemoryBytes (common/trace.h).
 FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
-                 const std::vector<ConstPred>& preds = {});
+                 const std::vector<ConstPred>& preds = {},
+                 QueryTrace* trace = nullptr);
 
 /// Factorises a single relation over its path f-tree (trie): the canonical
 /// way to turn flat input into an f-representation before applying f-plan
 /// operators. `rel_index` is the query-local relation index to record in
 /// the f-tree.
-FRep GroundRelation(const Relation& rel, int rel_index);
+FRep GroundRelation(const Relation& rel, int rel_index,
+                    QueryTrace* trace = nullptr);
 
 }  // namespace fdb
 

@@ -46,7 +46,9 @@ std::vector<PreOrderFrame> FramesFor(const FTree& tree, bool visible_only) {
 
 }  // namespace
 
-EnumKernel EnumKernel::Compile(const FTree& tree, bool visible_only) {
+EnumKernel EnumKernel::Compile(const FTree& tree, bool visible_only,
+                               QueryTrace* trace) {
+  QueryTrace::Scope span(trace, "kernel-compile");
   EnumKernel k;
   k.visible_only_ = visible_only;
   std::vector<PreOrderFrame> frames = FramesFor(tree, visible_only);

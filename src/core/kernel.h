@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/enumerate.h"
 #include "core/frep.h"
 
@@ -49,8 +50,10 @@ class EnumKernel {
   /// `tree` into a kernel. `visible_only` matches the TupleEnumerator mode:
   /// subtrees without visible attributes are skipped and the output schema
   /// is the visible attributes in increasing id order; otherwise every
-  /// alive node gets a frame and the schema is all attributes.
-  static EnumKernel Compile(const FTree& tree, bool visible_only);
+  /// alive node gets a frame and the schema is all attributes. A non-null
+  /// `trace` records a "kernel-compile" span.
+  static EnumKernel Compile(const FTree& tree, bool visible_only,
+                            QueryTrace* trace = nullptr);
 
   bool visible_only() const { return visible_only_; }
 

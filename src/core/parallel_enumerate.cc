@@ -1,6 +1,7 @@
 #include "core/parallel_enumerate.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -219,8 +220,11 @@ void ParallelEnumerator::Enumerate(
   });
 }
 
-Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts) {
-  ParallelEnumerator pe(rep, opts, /*visible_only=*/true);
+namespace {
+
+// Interpreted emission over a planned enumeration (the pre-PR-7 path and
+// the fallback for mismatching kernels).
+Relation EmitInterpreted(const FRep& rep, const ParallelEnumerator& pe) {
   if (pe.num_chunks() <= 1) {
     // Sequential fallback. When the constructor already sized the stream
     // (small result below the cutoff), hand the estimate over instead of
@@ -253,26 +257,18 @@ Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts) {
   return out;
 }
 
-Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts,
-                            const EnumKernel* kernel) {
-  // Fallback rules: no kernel, a full-tuple (not visible-mode) kernel, or a
-  // shape mismatch (the rep's f-tree differs from the one compiled against)
-  // all route to the interpreted path — the kernel is an accelerator, never
-  // a requirement.
-  if (kernel == nullptr || !kernel->visible_only() ||
-      !kernel->Matches(rep.tree())) {
-    return MaterializeVisible(rep, opts);
-  }
-  const std::vector<AttrId>& schema = kernel->schema();
+// Kernel-accelerated emission over a planned enumeration.
+Relation EmitWithKernel(const FRep& rep, const EnumKernel& kernel,
+                        const ParallelEnumerator& pe) {
+  const std::vector<AttrId>& schema = kernel.schema();
   Relation out(schema);
   if (rep.empty()) return out;
   const size_t arity = schema.size();
-  ParallelEnumerator pe(rep, opts, /*visible_only=*/true);
   if (arity == 0) {
     // Fully-invisible (or nullary) stream: the kernel reports the single
     // collapsed row count without appending values.
     std::vector<Value> none;
-    const uint64_t rows = kernel->Emit(rep, {}, &none);
+    const uint64_t rows = kernel.Emit(rep, {}, &none);
     for (uint64_t r = 0; r < rows; ++r) out.AddTuple({});
     out.SortLex();
     return out;
@@ -287,8 +283,8 @@ Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts,
     // walk entirely, so it costs a fraction of a percent of the emit and
     // guarantees the emit never reallocates (the sequential-fallback
     // morsel carries no estimate, and estimates may run short).
-    buf.reserve(kernel->CountRows(rep, m.bounds) * arity);
-    kernel->Emit(rep, m.bounds, &buf);
+    buf.reserve(kernel.CountRows(rep, m.bounds) * arity);
+    kernel.Emit(rep, m.bounds, &buf);
   });
   // The first chunk moves into the relation (free for the common
   // single-chunk sequential case); the rest reserve-then-append.
@@ -298,6 +294,34 @@ Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts,
   out.Reserve(total_values / arity);
   for (size_t c = 1; c < chunks.size(); ++c) out.AppendRows(chunks[c]);
   out.SortLex();  // relations are sets: sort + dedup
+  return out;
+}
+
+}  // namespace
+
+Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts) {
+  ParallelEnumerator pe(rep, opts, /*visible_only=*/true);
+  return EmitInterpreted(rep, pe);
+}
+
+Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts,
+                            const EnumKernel* kernel, QueryTrace* trace) {
+  // Fallback rules: no kernel, a full-tuple (not visible-mode) kernel, or a
+  // shape mismatch (the rep's f-tree differs from the one compiled against)
+  // all route to the interpreted path — the kernel is an accelerator, never
+  // a requirement.
+  const bool use_kernel = kernel != nullptr && kernel->visible_only() &&
+                          kernel->Matches(rep.tree());
+  std::optional<ParallelEnumerator> pe;
+  {
+    QueryTrace::Scope plan_span(trace, "morsel-plan");
+    pe.emplace(rep, opts, /*visible_only=*/true);
+    plan_span.SetRows(pe->num_chunks());
+  }
+  QueryTrace::Scope enum_span(trace, "enumerate");
+  Relation out =
+      use_kernel ? EmitWithKernel(rep, *kernel, *pe) : EmitInterpreted(rep, *pe);
+  enum_span.SetRows(out.size());
   return out;
 }
 

@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/enumerate.h"
 #include "core/frep.h"
 #include "storage/relation.h"
@@ -128,10 +129,15 @@ Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts);
 /// Kernel-accelerated MaterializeVisible: when `kernel` is a visible-mode
 /// kernel whose compiled shape matches rep.tree() (EnumKernel::Matches),
 /// rows are emitted by one kernel run per morsel — extraction fused into
-/// emission — on up to opts.threads cores; otherwise this falls back to
-/// the interpreted overload above. Output is identical either way.
+/// emission — on up to opts.threads cores; otherwise rows come from the
+/// interpreted enumerator (null kernels are fine). Output is identical
+/// either way. A non-null `trace` records a "morsel-plan" span (rows =
+/// chunk count) and an "enumerate" span (rows = output rows), both opened
+/// on the calling thread around the whole fan-out — per-morsel work is
+/// aggregated, never one span per morsel (common/trace.h).
 Relation MaterializeVisible(const FRep& rep, const EnumerateOptions& opts,
-                            const EnumKernel* kernel);
+                            const EnumKernel* kernel,
+                            QueryTrace* trace = nullptr);
 
 }  // namespace fdb
 

@@ -4,27 +4,39 @@
 
 namespace fdb {
 
-PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+PlanCache::PlanCache(size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity),
+      owned_(metrics == nullptr ? std::make_unique<MetricsRegistry>()
+                                : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_.get()),
+      hits_(metrics_->GetCounter("fdb_plan_cache_hits_total")),
+      misses_(metrics_->GetCounter("fdb_plan_cache_misses_total")),
+      evictions_(metrics_->GetCounter("fdb_plan_cache_evictions_total")),
+      invalidations_(
+          metrics_->GetCounter("fdb_plan_cache_invalidations_total")),
+      entries_(metrics_->GetGauge("fdb_plan_cache_entries")) {
   FDB_CHECK_MSG(capacity > 0, "plan cache capacity must be positive");
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(
-    const std::string& signature, uint64_t version) {
+    const std::string& signature, uint64_t version, QueryTrace* trace) {
+  QueryTrace::Scope span(trace, "plan-cache-lookup");
   MutexLock lock(mu_);
   auto it = index_.find(signature);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.Increment();
     return nullptr;
   }
   if (it->second->version != version) {
     lru_.erase(it->second);
     index_.erase(it);
-    ++invalidations_;
-    ++misses_;
+    invalidations_.Increment();
+    misses_.Increment();
+    entries_.Set(static_cast<int64_t>(lru_.size()));
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
-  ++hits_;
+  hits_.Increment();
   return it->second->plan;
 }
 
@@ -41,20 +53,20 @@ void PlanCache::Insert(const std::string& signature, uint64_t version,
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back().signature);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.Increment();
   }
   lru_.push_front(Entry{signature, version, std::move(plan)});
   index_.emplace(signature, lru_.begin());
+  entries_.Set(static_cast<int64_t>(lru_.size()));
 }
 
 PlanCacheStats PlanCache::stats() const {
-  MutexLock lock(mu_);
   PlanCacheStats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.invalidations = invalidations_;
-  s.size = lru_.size();
+  s.hits = hits_.Value();
+  s.misses = misses_.Value();
+  s.evictions = evictions_.Value();
+  s.invalidations = invalidations_.Value();
+  s.size = size();
   s.capacity = capacity_;
   return s;
 }

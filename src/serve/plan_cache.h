@@ -21,8 +21,10 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 #include "opt/ftree_search.h"
 #include "storage/query.h"
 
@@ -47,9 +49,10 @@ struct CachedPlan {
   std::shared_ptr<const EnumKernel> kernel;
 };
 
-/// Counters of one PlanCache. `hits + misses` equals the number of Lookup
-/// calls; `invalidations` counts entries dropped because their database
-/// version went stale (a subset of misses); `evictions` counts LRU drops.
+/// Counter view of one PlanCache (see PlanCache::stats). `hits + misses`
+/// equals the number of Lookup calls; `invalidations` counts entries
+/// dropped because their database version went stale (a subset of misses);
+/// `evictions` counts LRU drops.
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -65,13 +68,20 @@ struct PlanCacheStats {
 /// out by shared_ptr and executed outside the lock).
 class PlanCache {
  public:
-  explicit PlanCache(size_t capacity);
+  /// `metrics` receives the cache's counters (fdb_plan_cache_hits_total,
+  /// _misses_total, _evictions_total, _invalidations_total and the
+  /// fdb_plan_cache_entries gauge); it must outlive the cache. Null means
+  /// the cache owns a private registry (standalone uses and tests).
+  explicit PlanCache(size_t capacity, MetricsRegistry* metrics = nullptr);
 
   /// Returns the cached plan for `signature` if present and built against
   /// `version`; nullptr otherwise. A present entry with a stale version is
-  /// erased (counted as invalidation + miss).
+  /// erased (counted as invalidation + miss). A non-null `trace` records a
+  /// "plan-cache-lookup" span.
   std::shared_ptr<const CachedPlan> Lookup(const std::string& signature,
-                                           uint64_t version) EXCLUDES(mu_);
+                                           uint64_t version,
+                                           QueryTrace* trace = nullptr)
+      EXCLUDES(mu_);
 
   /// Publishes a plan, evicting the least-recently-used entry if the cache
   /// is full. Re-inserting an existing key replaces the entry (last writer
@@ -79,6 +89,10 @@ class PlanCache {
   void Insert(const std::string& signature, uint64_t version,
               std::shared_ptr<const CachedPlan> plan) EXCLUDES(mu_);
 
+  /// Counter view assembled from the registry metrics plus the current
+  /// size. Values never tear (each is one atomic), but the view is not a
+  /// simultaneous snapshot — see the consistency contract in
+  /// common/metrics.h.
   PlanCacheStats stats() const EXCLUDES(mu_);
   size_t size() const EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
@@ -92,13 +106,16 @@ class PlanCache {
 
   mutable Mutex mu_;
   const size_t capacity_;  // immutable after construction, lock-free reads
+  std::unique_ptr<MetricsRegistry> owned_;  // when no registry was passed
+  MetricsRegistry* metrics_;                // owned_.get() or the argument
+  Counter& hits_;
+  Counter& misses_;
+  Counter& evictions_;
+  Counter& invalidations_;
+  Gauge& entries_;
   std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_
       GUARDED_BY(mu_);
-  uint64_t hits_ GUARDED_BY(mu_) = 0;
-  uint64_t misses_ GUARDED_BY(mu_) = 0;
-  uint64_t evictions_ GUARDED_BY(mu_) = 0;
-  uint64_t invalidations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fdb

@@ -14,9 +14,9 @@ namespace {
 // Keywords and aggregate-function names of the SQL dialect (sql/parser.cc
 // matches them case-insensitively).
 bool IsKeywordShaped(const std::string& lower) {
-  static const char* const kKeywords[] = {"select", "from", "where", "and",
-                                          "group",  "by",   "count", "sum",
-                                          "avg",    "min",  "max"};
+  static const char* const kKeywords[] = {
+      "select", "from", "where", "and", "group",   "by",       "count",
+      "sum",    "avg",  "min",   "max", "explain", "analyze"};
   return std::find(std::begin(kKeywords), std::end(kKeywords), lower) !=
          std::end(kKeywords);
 }
@@ -63,6 +63,7 @@ std::string NormalizeSql(const std::string& sql, const Catalog& catalog) {
 }
 
 std::string RenderResult(const Database& db, const FdbResult& res) {
+  if (res.explain.has_value()) return *res.explain;
   std::ostringstream os;
   if (res.aggregate.has_value()) {
     const GroupedTable& tbl = *res.aggregate;
@@ -106,6 +107,10 @@ std::string RenderResult(const Database& db, const FdbResult& res) {
        << " tuples\n";
   }
   return os.str();
+}
+
+bool IsStatsRequest(const std::string& line) {
+  return ToLower(Trim(line)) == "stats";
 }
 
 std::string FrameResponse(const ServeResponse& r) {

@@ -40,8 +40,17 @@ std::string NormalizeSql(const std::string& sql, const Catalog& catalog);
 /// stats line; grouped-aggregate queries yield a header line, one line per
 /// group (keys sorted — GroupedTable::SortByKey order) and a `-- N groups`
 /// line. Timings are deliberately excluded: the body depends only on the
-/// query and the data. Every line ends with '\n'.
+/// query and the data. Every line ends with '\n'. Exception: an EXPLAIN
+/// ANALYZE result (FdbResult::explain) renders its span tree verbatim —
+/// those bodies carry wall times and are *not* deterministic.
 std::string RenderResult(const Database& db, const FdbResult& res);
+
+/// True iff `line` is the STATS protocol verb: the case-insensitive word
+/// "stats" alone on the line (surrounding whitespace ignored). It cannot
+/// collide with SQL — statements start with SELECT or EXPLAIN. The server
+/// answers with its metrics registry's Prometheus-style exposition
+/// (QueryServer::MetricsExposition), framed like any OK body.
+bool IsStatsRequest(const std::string& line);
 
 /// Outcome status of one served request.
 enum class ServeStatus { kOk, kError, kTimeout, kBusy };

@@ -1,5 +1,7 @@
 #include "serve/query_server.h"
 
+#include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -11,7 +13,19 @@ QueryServer::QueryServer(Database* db, ServeOptions opts)
     : db_(db),
       opts_(opts),
       engine_(db, opts.engine),
-      cache_(opts.plan_cache_capacity) {
+      cache_(opts.plan_cache_capacity, &metrics_),
+      received_(metrics_.GetCounter("fdb_serve_requests_total")),
+      executed_(metrics_.GetCounter("fdb_serve_executed_total")),
+      coalesced_(metrics_.GetCounter("fdb_serve_coalesced_total")),
+      errors_(metrics_.GetCounter("fdb_serve_errors_total")),
+      timeouts_(metrics_.GetCounter("fdb_serve_timeouts_total")),
+      rejected_(metrics_.GetCounter("fdb_serve_rejected_total")),
+      kernels_built_(metrics_.GetCounter("fdb_serve_kernels_built_total")),
+      queue_wait_hist_(metrics_.GetHistogram("fdb_serve_queue_wait_seconds")),
+      cache_lookup_hist_(
+          metrics_.GetHistogram("fdb_serve_cache_lookup_seconds")),
+      execute_hist_(metrics_.GetHistogram("fdb_serve_execute_seconds")),
+      render_hist_(metrics_.GetHistogram("fdb_serve_render_seconds")) {
   FDB_CHECK_MSG(opts_.num_workers > 0, "server needs at least one worker");
 }
 
@@ -26,9 +40,7 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
                                            : opts_.default_deadline_seconds;
   if (deadline > 0.0) {
     waiter.has_deadline = true;
-    waiter.deadline =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double>(deadline));
+    waiter.deadline = MonotonicDeadline(deadline);
   }
 
   // Normalise outside the lock; an unlexable statement is answered
@@ -37,11 +49,8 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
   try {
     signature = NormalizeSql(sql, db_->catalog());
   } catch (const FdbError& e) {
-    {
-      MutexLock lock(mu_);
-      ++received_;
-      ++errors_;
-    }
+    received_.Increment();
+    errors_.Increment();
     waiter.promise.set_value(
         ServeResponse{ServeStatus::kError, e.what(), false, false});
     return future;
@@ -55,11 +64,11 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
   const char* reject_reason = nullptr;
   ServeStatus reject_status = ServeStatus::kError;
   bool schedule = false;
+  received_.Increment();
   {
     MutexLock lock(mu_);
-    ++received_;
     if (stopping_) {
-      ++errors_;
+      errors_.Increment();
       reject_reason = "server is shutting down";
       reject_status = ServeStatus::kError;
     } else if (auto it = open_.find(signature); it != open_.end()) {
@@ -67,20 +76,21 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
       // already-queued evaluation. Always admitted — it adds no queue
       // pressure, so it bypasses the max_queue bound.
       waiter.coalesced = true;
-      ++coalesced_;
+      coalesced_.Increment();
       it->second->waiters.push_back(std::move(waiter));
       return future;
     } else if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue) {
       // Admission control: opening another evaluation group would exceed
       // the configured queue bound — shed the request now rather than
       // growing an unbounded backlog.
-      ++rejected_;
+      rejected_.Increment();
       reject_reason = "server overloaded: request queue is full";
       reject_status = ServeStatus::kBusy;
     } else {
       auto group = std::make_unique<Group>();
       group->raw_sql = sql;
       group->signature = std::move(signature);
+      group->enqueued = Clock::now();
       group->waiters.push_back(std::move(waiter));
       open_.emplace(group->signature, group.get());
       queue_.push_back(std::move(group));
@@ -138,6 +148,8 @@ void QueryServer::ExecuteGroup(Group& group) {
   // Deadline check at dequeue: expired requests are answered without
   // evaluating; if nobody is left waiting, the evaluation is skipped.
   const Clock::time_point now = Clock::now();
+  queue_wait_hist_.Record(
+      std::chrono::duration<double>(now - group.enqueued).count());
   std::vector<Waiter> live, expired;
   live.reserve(group.waiters.size());
   for (Waiter& w : group.waiters) {
@@ -148,10 +160,7 @@ void QueryServer::ExecuteGroup(Group& group) {
     }
   }
   if (!expired.empty()) {
-    {
-      MutexLock lock(mu_);
-      timeouts_ += expired.size();
-    }
+    timeouts_.Increment(expired.size());
     for (Waiter& w : expired) {
       w.promise.set_value(ServeResponse{ServeStatus::kTimeout,
                                         "deadline exceeded before evaluation",
@@ -160,31 +169,63 @@ void QueryServer::ExecuteGroup(Group& group) {
   }
   if (live.empty()) return;
 
+  // EXPLAIN ANALYZE runs the identical pipeline under a QueryTrace and
+  // answers with the rendered span tree. Normalisation folds keywords to
+  // lower case, so the signature prefix identifies explain statements
+  // before the query is parsed (the parse happens *inside* the trace).
+  const bool explain = group.signature.rfind("explain analyze", 0) == 0;
+  std::optional<QueryTrace> trace;
+  if (explain) trace.emplace();
+  QueryTrace* tp = trace.has_value() ? &*trace : nullptr;
+
   ServeResponse response;
   bool built_kernel = false;
+  Timer exec_timer;
   try {
+    std::optional<QueryTrace::Scope> root;
+    if (tp != nullptr) {
+      root.emplace(tp, "serve");
+      // Submit already normalised the statement (the group key); re-run it
+      // here so the trace carries the phase's cost for this query.
+      QueryTrace::Scope span(tp, "normalize");
+      NormalizeSql(group.raw_sql, db_->catalog());
+    }
+
     const uint64_t version = db_->version();
+    Timer lookup_timer;
     std::shared_ptr<const CachedPlan> plan =
-        cache_.Lookup(group.signature, version);
+        cache_.Lookup(group.signature, version, tp);
+    cache_lookup_hist_.Record(lookup_timer.Seconds());
     std::shared_ptr<CachedPlan> fresh;
     if (plan == nullptr) {
       fresh = std::make_shared<CachedPlan>();
-      fresh->query = engine_.Parse(group.raw_sql);
+      {
+        QueryTrace::Scope span(tp, "parse");
+        fresh->query = engine_.Parse(group.raw_sql);
+      }
       // The f-tree search ignores projection/grouping, so one tree serves
       // both the SPJ and the aggregate path of this query.
-      fresh->search = engine_.OptimizeFlat(fresh->query);
+      {
+        QueryTrace::Scope span(tp, "f-tree-search");
+        fresh->search = engine_.OptimizeFlat(fresh->query);
+      }
       plan = fresh;
     } else {
       response.cache_hit = true;
     }
 
     // The steady-state hot path: ground/execute/enumerate on the cached
-    // tree — no optimisation.
-    FdbResult result{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}};
-    if (plan->query.IsAggregate()) {
+    // tree — no optimisation. The traced variant covers both branches
+    // (and, for SPJ, materialises through the cached kernel so the trace
+    // includes morsel planning and enumeration).
+    FdbResult result{FRep{FTree{}}, FPlan{}, 0.0, 0.0, {}, {}};
+    if (tp != nullptr) {
+      result = engine_.ExecuteTraced(plan->query, tp, &plan->search,
+                                     plan->kernel.get());
+    } else if (plan->query.IsAggregate()) {
       AggregateResult ar = engine_.ExecuteAggregate(plan->query, &plan->search);
       result = FdbResult{std::move(ar.grouped.rep), std::move(ar.plan),
-                         ar.optimize_seconds, ar.evaluate_seconds, {}};
+                         ar.optimize_seconds, ar.evaluate_seconds, {}, {}};
       result.aggregate = std::move(ar.table);
     } else {
       result = engine_.EvaluateFlat(plan->query, &plan->search);
@@ -197,14 +238,20 @@ void QueryServer::ExecuteGroup(Group& group) {
       // Inserting before the waiters are fulfilled keeps the sequential
       // repeat guarantee: a client that has its answer hits the cache.
       if (!fresh->query.IsAggregate()) {
-        fresh->kernel = std::make_shared<const EnumKernel>(
-            EnumKernel::Compile(result.rep.tree(), /*visible_only=*/true));
+        fresh->kernel = std::make_shared<const EnumKernel>(EnumKernel::Compile(
+            result.rep.tree(), /*visible_only=*/true, tp));
         built_kernel = true;
       }
       cache_.Insert(group.signature, version, std::move(fresh));
     }
+    if (tp != nullptr) {
+      root.reset();  // close the "serve" span before rendering the tree
+      result.explain = trace->Render();
+    }
     response.status = ServeStatus::kOk;
+    Timer render_timer;
     response.body = RenderResult(*db_, result);
+    render_hist_.Record(render_timer.Seconds());
   } catch (const FdbError& e) {
     response.status = ServeStatus::kError;
     response.body = e.what();
@@ -212,6 +259,7 @@ void QueryServer::ExecuteGroup(Group& group) {
     response.status = ServeStatus::kError;
     response.body = std::string("internal error: ") + e.what();
   }
+  execute_hist_.Record(exec_timer.Seconds());
 
   // Decide each waiter's outcome (a deadline that passed during evaluation
   // still times out — that client has given up), update the counters, and
@@ -234,13 +282,10 @@ void QueryServer::ExecuteGroup(Group& group) {
     }
     outcomes.push_back(std::move(r));
   }
-  {
-    MutexLock lock(mu_);
-    ++executed_;
-    errors_ += delivered_errors;
-    timeouts_ += delivered_timeouts;
-    if (built_kernel) ++kernels_built_;
-  }
+  executed_.Increment();
+  errors_.Increment(delivered_errors);
+  timeouts_.Increment(delivered_timeouts);
+  if (built_kernel) kernels_built_.Increment();
   for (size_t i = 0; i < live.size(); ++i) {
     live[i].promise.set_value(std::move(outcomes[i]));
   }
@@ -248,16 +293,13 @@ void QueryServer::ExecuteGroup(Group& group) {
 
 ServerStats QueryServer::stats() const {
   ServerStats s;
-  {
-    MutexLock lock(mu_);
-    s.received = received_;
-    s.executed = executed_;
-    s.coalesced = coalesced_;
-    s.errors = errors_;
-    s.timeouts = timeouts_;
-    s.rejected = rejected_;
-    s.kernels_built = kernels_built_;
-  }
+  s.received = received_.Value();
+  s.executed = executed_.Value();
+  s.coalesced = coalesced_.Value();
+  s.errors = errors_.Value();
+  s.timeouts = timeouts_.Value();
+  s.rejected = rejected_.Value();
+  s.kernels_built = kernels_built_.Value();
   s.plan_cache = cache_.stats();
   return s;
 }
@@ -273,7 +315,7 @@ void QueryServer::Shutdown() {
       drained.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
-    for (const auto& group : drained) errors_ += group->waiters.size();
+    for (const auto& group : drained) errors_.Increment(group->waiters.size());
     // Wait for in-flight pool tasks: each retires (decrements inflight_
     // and notifies) on its next queue check, after which it no longer
     // touches server state — so once inflight_ is zero, destroying the

@@ -32,6 +32,15 @@
 // Per-request deadlines are enforced at dequeue (expired requests are
 // answered TIMEOUT without evaluating) and again at delivery.
 //
+// Observability: every server owns a MetricsRegistry (common/metrics.h)
+// holding its request counters, the plan-cache counters and four latency
+// histograms (queue wait, cache lookup, execute, render); recording is
+// lock-free and MetricsExposition() renders the registry for the STATS
+// protocol verb. EXPLAIN ANALYZE statements run their evaluation under a
+// QueryTrace (common/trace.h) and answer with the rendered span tree
+// (serve -> normalize/plan-cache-lookup/[parse/f-tree-search]/ground/...)
+// instead of result rows.
+//
 // Thread safety: the database must be fully loaded before the server is
 // constructed and must not change while it serves (Database::version
 // guards cached plans against changes *between* serving sessions, not
@@ -41,7 +50,6 @@
 #ifndef FDB_SERVE_QUERY_SERVER_H_
 #define FDB_SERVE_QUERY_SERVER_H_
 
-#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -52,8 +60,10 @@
 
 #include "api/database.h"
 #include "api/engine.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/timer.h"
 #include "serve/plan_cache.h"
 #include "serve/protocol.h"
 
@@ -76,7 +86,19 @@ struct ServeOptions {
   EngineOptions engine;              ///< forwarded to the shared Engine
 };
 
-/// Counters of one QueryServer (monotonic since construction).
+/// Counters of one QueryServer (monotonic since construction). A view of
+/// the server's MetricsRegistry: each value is one relaxed-atomic read, so
+/// values never tear, but the struct is not a simultaneous snapshot and may
+/// trail requests still in flight — see the consistency contract in
+/// common/metrics.h. A request's own effect is always visible once its
+/// response is in hand (counters are bumped before promises are fulfilled),
+/// and cross-counter invariants hold exactly at quiescence: every received
+/// request was the lead of an executed group, coalesced onto one, shed with
+/// BUSY, or expired before its group ran (a fully-expired group skips
+/// evaluation and counts only under timeouts) — so
+/// received <= executed + coalesced + rejected + timeouts, with equality
+/// when no request timed out (timeouts can otherwise double-count a
+/// coalesced or executed-group waiter that also expired).
 struct ServerStats {
   uint64_t received = 0;   ///< requests submitted
   uint64_t executed = 0;   ///< evaluations actually run
@@ -113,8 +135,17 @@ class QueryServer {
   /// Blocking convenience: Submit + wait.
   ServeResponse Query(const std::string& sql, double deadline_seconds = 0.0);
 
-  /// Snapshot of the server counters, including the plan cache's.
-  ServerStats stats() const EXCLUDES(mu_);
+  /// View of the server counters, including the plan cache's. Lock-free:
+  /// reads the metrics registry's atomics without touching mu_, so it never
+  /// contends with evaluation (see the ServerStats consistency contract).
+  ServerStats stats() const;
+
+  /// Prometheus-style text exposition of the server's full metrics
+  /// registry: the ServerStats counters, the plan-cache counters/gauge and
+  /// the per-request latency histograms (fdb_serve_queue_wait_seconds,
+  /// _cache_lookup_, _execute_, _render_). This is the body of the STATS
+  /// protocol verb (serve/protocol.h).
+  std::string MetricsExposition() const { return metrics_.RenderPrometheus(); }
 
   const Database& db() const { return *db_; }
   const PlanCache& plan_cache() const { return cache_; }
@@ -125,7 +156,7 @@ class QueryServer {
   void Shutdown() EXCLUDES(mu_);
 
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonotonicClock;  // common/timer.h
 
   struct Waiter {
     std::promise<ServeResponse> promise;
@@ -140,6 +171,7 @@ class QueryServer {
   struct Group {
     std::string raw_sql;    ///< first arrival's text (parsed on plan miss)
     std::string signature;  ///< normalised SQL, the plan-cache key
+    Clock::time_point enqueued{};  ///< for fdb_serve_queue_wait_seconds
     std::vector<Waiter> waiters;
   };
 
@@ -150,8 +182,23 @@ class QueryServer {
 
   Database* db_;
   ServeOptions opts_;
+  /// Owns every server metric (declared before engine_/cache_: the cache
+  /// binds its counters here at construction). Counters/histograms below
+  /// are references into this registry — lock-free to record and to read.
+  MetricsRegistry metrics_;
   Engine engine_;
   PlanCache cache_;
+  Counter& received_;
+  Counter& executed_;
+  Counter& coalesced_;
+  Counter& errors_;
+  Counter& timeouts_;
+  Counter& rejected_;
+  Counter& kernels_built_;
+  Histogram& queue_wait_hist_;    ///< Submit enqueue -> worker dequeue
+  Histogram& cache_lookup_hist_;  ///< PlanCache::Lookup wall time
+  Histogram& execute_hist_;       ///< whole evaluation (lookup..render)
+  Histogram& render_hist_;        ///< RenderResult wall time (OK only)
 
   mutable Mutex mu_;
   CondVar cv_;
@@ -160,13 +207,6 @@ class QueryServer {
   /// mutated under mu_ while the group is queued).
   std::unordered_map<std::string, Group*> open_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
-  uint64_t received_ GUARDED_BY(mu_) = 0;
-  uint64_t executed_ GUARDED_BY(mu_) = 0;
-  uint64_t coalesced_ GUARDED_BY(mu_) = 0;
-  uint64_t errors_ GUARDED_BY(mu_) = 0;
-  uint64_t timeouts_ GUARDED_BY(mu_) = 0;
-  uint64_t rejected_ GUARDED_BY(mu_) = 0;
-  uint64_t kernels_built_ GUARDED_BY(mu_) = 0;
 
   /// Queue-draining pool tasks currently running (or scheduled and not yet
   /// started). Bounded by opts_.num_workers; Shutdown waits on cv_ for it

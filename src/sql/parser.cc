@@ -1,5 +1,7 @@
 #include "sql/parser.h"
 
+#include <cctype>
+
 #include "common/str.h"
 #include "sql/lexer.h"
 
@@ -17,6 +19,11 @@ class Parser {
       : tokens_(Lex(sql)), catalog_(catalog), dict_(dict) {}
 
   Query Run() {
+    if (IsKeyword(Peek(), "explain")) {
+      Advance();
+      ExpectKeyword("analyze");
+      q_.explain_analyze = true;
+    }
     ExpectKeyword("select");
     bool star = false;
     std::vector<std::string> select_attrs;
@@ -243,6 +250,34 @@ class Parser {
 Query ParseSql(const std::string& sql, const Catalog& catalog,
                Dictionary* dict) {
   return Parser(sql, catalog, dict).Run();
+}
+
+bool IsExplainAnalyze(const std::string& sql) {
+  size_t i = 0;
+  auto lower = [](char c) {
+    return static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  };
+  auto is_word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  auto skip_space = [&] {
+    while (i < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[i])) != 0) {
+      ++i;
+    }
+  };
+  auto match_word = [&](const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++i) {
+      if (i >= sql.size() || lower(sql[i]) != *p) return false;
+    }
+    // Word boundary: end of input or a non-identifier character.
+    return i >= sql.size() || !is_word_char(sql[i]);
+  };
+  skip_space();
+  if (!match_word("explain")) return false;
+  skip_space();
+  return match_word("analyze");
 }
 
 }  // namespace fdb

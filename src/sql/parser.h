@@ -29,8 +29,17 @@ namespace fdb {
 
 /// Parses `sql` against `catalog`; string literals are interned in `dict`.
 /// Throws FdbError with a position on syntax errors and unknown names.
+/// A leading case-insensitive `EXPLAIN ANALYZE` sets Query::explain_analyze
+/// and the rest of the statement is parsed as usual.
 Query ParseSql(const std::string& sql, const Catalog& catalog,
                Dictionary* dict);
+
+/// True iff `sql` starts (after whitespace) with the case-insensitive words
+/// EXPLAIN ANALYZE. A plain text scan — no lexing, no catalog — so the
+/// engine can decide whether to open a trace before parsing happens inside
+/// it (Engine::Execute opens the root span first, then parses, keeping the
+/// parse span nested under the root).
+bool IsExplainAnalyze(const std::string& sql);
 
 }  // namespace fdb
 

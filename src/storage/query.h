@@ -100,6 +100,11 @@ struct Query {
   /// Aggregate calls of the SELECT list, in SELECT order.
   std::vector<AggSpec> aggregates;
 
+  /// True when the statement was prefixed with EXPLAIN ANALYZE: the engine
+  /// executes the query normally but records a QueryTrace and returns its
+  /// rendering instead of the result rows (api/engine.h).
+  bool explain_analyze = false;
+
   /// True when the query is a grouped-aggregate query (evaluated by
   /// Engine::ExecuteAggregate rather than the plain SPJ path). GROUP BY
   /// without aggregates is the DISTINCT-groups query.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +74,20 @@ TEST(NormalizeSql, AggregateQueriesNormalise) {
       NormalizeSql("select s_location , Count( * ) from Orders,Store where "
                    "o_item=s_item group by s_location",
                    cat));
+}
+
+TEST(NormalizeSql, ExplainAnalyzeFoldsToLowercasePrefix) {
+  auto db = MakeGroceryDb();
+  const Catalog& cat = db->catalog();
+  // The serve path detects explain statements by this normalised prefix
+  // (see QueryServer::ExecuteGroup), so the fold must be exact.
+  std::string sig = NormalizeSql(
+      "EXPLAIN  Analyze SELECT * FROM Orders, Store WHERE o_item = s_item",
+      cat);
+  EXPECT_EQ(sig.rfind("explain analyze ", 0), 0u);
+  EXPECT_EQ(sig, NormalizeSql("explain analyze select * from Orders , Store "
+                              "where o_item = s_item",
+                              cat));
 }
 
 TEST(NormalizeSql, RejectsUnlexableInput) {
@@ -462,8 +477,145 @@ TEST(QueryServer, ShutdownAnswersQueuedRequests) {
 }
 
 // ---------------------------------------------------------------------------
+// Observability: STATS exposition, EXPLAIN ANALYZE, consistency contract
+// ---------------------------------------------------------------------------
+
+// Extracts one sample value from a Prometheus text exposition; -1 when the
+// metric is absent (so tests distinguish "missing" from "zero").
+double ExpoValue(const std::string& expo, const std::string& name) {
+  std::istringstream is(expo);
+  std::string line;
+  const std::string needle = name + " ";
+  while (std::getline(is, line)) {
+    if (line.rfind(needle, 0) == 0) return std::stod(line.substr(needle.size()));
+  }
+  return -1.0;
+}
+
+TEST(QueryServer, StatsExpositionMatchesStructuredStats) {
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(2));
+  for (const std::string& sql : GroceryQueries()) server.Query(sql);
+
+  // Quiescent (every Query() returned), so the two surfaces must agree
+  // exactly — they read the same registry.
+  ServerStats s = server.stats();
+  std::string expo = server.MetricsExposition();
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_requests_total"),
+            static_cast<double>(s.received));
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_executed_total"),
+            static_cast<double>(s.executed));
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_coalesced_total"),
+            static_cast<double>(s.coalesced));
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_errors_total"),
+            static_cast<double>(s.errors));
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_timeouts_total"),
+            static_cast<double>(s.timeouts));
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_rejected_total"),
+            static_cast<double>(s.rejected));
+  EXPECT_EQ(ExpoValue(expo, "fdb_plan_cache_hits_total"),
+            static_cast<double>(s.plan_cache.hits));
+  EXPECT_EQ(ExpoValue(expo, "fdb_plan_cache_misses_total"),
+            static_cast<double>(s.plan_cache.misses));
+  EXPECT_EQ(ExpoValue(expo, "fdb_plan_cache_entries"),
+            static_cast<double>(s.plan_cache.size));
+  // The request-phase histograms saw every executed group.
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_execute_seconds_count"),
+            static_cast<double>(s.executed));
+  EXPECT_GT(ExpoValue(expo, "fdb_serve_execute_seconds_sum"), 0.0);
+  EXPECT_EQ(ExpoValue(expo, "fdb_serve_queue_wait_seconds_count"),
+            static_cast<double>(s.executed));
+  EXPECT_GE(ExpoValue(expo, "fdb_serve_cache_lookup_seconds_count"), 1.0);
+}
+
+TEST(QueryServer, StatsCountersAreMonotone) {
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(2));
+  const std::string sql = "SELECT * FROM Orders, Store WHERE o_item = s_item";
+  server.Query(sql);
+  ServerStats before = server.stats();
+  server.Query(sql);
+  server.Query("SELECT * FROM Nowhere");  // errors too only ever increase
+  ServerStats after = server.stats();
+  EXPECT_GE(after.received, before.received + 2);
+  EXPECT_GE(after.executed, before.executed);
+  EXPECT_GE(after.errors, before.errors + 1);
+  EXPECT_GE(after.plan_cache.hits, before.plan_cache.hits + 1);
+  EXPECT_GE(after.plan_cache.misses, before.plan_cache.misses);
+}
+
+// The documented contract (see ServerStats in serve/query_server.h):
+// counters never tear, are not mutually simultaneous, but at quiescence the
+// admission identity holds exactly and a client's own request is visible
+// once its response is in hand.
+TEST(QueryServer, StatsConsistencyContract) {
+  auto db = MakeGroceryDb();
+  ServeOptions opts = Workers(2);
+  QueryServer server(db.get(), opts);
+  for (const std::string& sql : GroceryQueries()) server.Query(sql);
+  // Own-request visibility: the response is in hand, so received includes it.
+  ServerStats s1 = server.stats();
+  EXPECT_GE(s1.received, static_cast<uint64_t>(GroceryQueries().size()));
+  // Quiescence identity: every received request was executed, coalesced
+  // into a group, or shed.
+  EXPECT_EQ(s1.executed + s1.coalesced + s1.rejected, s1.received);
+  // A request that expires before its group runs is counted once, under
+  // timeouts — its group skips evaluation, so executed stays flat and the
+  // identity weakens to the documented inequality.
+  server.Query("SELECT * FROM Orders, Store WHERE o_item = s_item", 1e-9);
+  ServerStats s2 = server.stats();
+  EXPECT_EQ(s2.timeouts, s1.timeouts + 1);
+  EXPECT_EQ(s2.executed, s1.executed);
+  EXPECT_EQ(s2.received, s1.received + 1);
+  EXPECT_LE(s2.received,
+            s2.executed + s2.coalesced + s2.rejected + s2.timeouts);
+}
+
+TEST(QueryServer, ExplainAnalyzeServesSpanTree) {
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(1));
+  const std::string sql =
+      "EXPLAIN ANALYZE SELECT * FROM Orders, Store WHERE o_item = s_item";
+
+  // Cold: the plan is optimised under the trace, so the tree shows the
+  // full lifecycle.
+  ServeResponse cold = server.Query(sql);
+  ASSERT_EQ(static_cast<int>(cold.status), static_cast<int>(ServeStatus::kOk));
+  EXPECT_EQ(cold.body.rfind("EXPLAIN ANALYZE\n", 0), 0u);
+  for (const char* span : {"serve", "normalize", "plan-cache-lookup", "parse",
+                           "f-tree-search", "ground", "morsel-plan",
+                           "enumerate", "-- total"}) {
+    EXPECT_NE(cold.body.find(span), std::string::npos) << span;
+  }
+
+  // Warm: the cached plan answers, so parse and f-tree-search never run —
+  // and their spans must not appear.
+  ServeResponse warm = server.Query(sql);
+  ASSERT_EQ(static_cast<int>(warm.status), static_cast<int>(ServeStatus::kOk));
+  EXPECT_EQ(warm.body.find("f-tree-search"), std::string::npos);
+  EXPECT_EQ(warm.body.find("parse"), std::string::npos);
+  EXPECT_NE(warm.body.find("ground"), std::string::npos);
+  EXPECT_GE(server.stats().plan_cache.hits, 1u);
+
+  // The traced run is a real execution: the plain query still serves
+  // correctly afterwards and matches the engine reference.
+  Engine reference(db.get());
+  const std::string plain = "SELECT * FROM Orders, Store WHERE o_item = s_item";
+  EXPECT_EQ(server.Query(plain).body, Reference(reference, *db, plain).body);
+}
+
+// ---------------------------------------------------------------------------
 // Wire framing
 // ---------------------------------------------------------------------------
+
+TEST(Protocol, IsStatsRequest) {
+  EXPECT_TRUE(IsStatsRequest("STATS"));
+  EXPECT_TRUE(IsStatsRequest("stats"));
+  EXPECT_TRUE(IsStatsRequest("  Stats  "));
+  EXPECT_FALSE(IsStatsRequest("STATS extra"));
+  EXPECT_FALSE(IsStatsRequest("SELECT stats FROM t"));
+  EXPECT_FALSE(IsStatsRequest(""));
+}
 
 TEST(Protocol, FrameResponse) {
   EXPECT_EQ(FrameResponse(

@@ -105,6 +105,30 @@ TEST_F(ParserTest, NonEqualityJoinRejected) {
                FdbError);
 }
 
+TEST_F(ParserTest, ExplainAnalyzePrefix) {
+  Query q = Parse("EXPLAIN ANALYZE SELECT * FROM Orders WHERE oid >= 2");
+  EXPECT_TRUE(q.explain_analyze);
+  // The wrapped statement parses identically to its plain form.
+  EXPECT_EQ(q.rels.size(), 1u);
+  EXPECT_EQ(q.const_preds.size(), 1u);
+  EXPECT_FALSE(Parse("SELECT * FROM Orders").explain_analyze);
+  // Keyword case folds like every other keyword.
+  EXPECT_TRUE(Parse("explain analyze select * from Orders").explain_analyze);
+  // EXPLAIN without ANALYZE (or bare) is not a statement.
+  EXPECT_THROW(Parse("EXPLAIN SELECT * FROM Orders"), FdbError);
+  EXPECT_THROW(Parse("EXPLAIN ANALYZE"), FdbError);
+}
+
+TEST(SqlText, IsExplainAnalyzeScan) {
+  EXPECT_TRUE(IsExplainAnalyze("EXPLAIN ANALYZE SELECT 1"));
+  EXPECT_TRUE(IsExplainAnalyze("  explain\n\tAnalyze select * from T"));
+  EXPECT_FALSE(IsExplainAnalyze("SELECT * FROM T"));
+  EXPECT_FALSE(IsExplainAnalyze("EXPLAIN SELECT 1"));
+  EXPECT_FALSE(IsExplainAnalyze("explainanalyze select"));
+  EXPECT_FALSE(IsExplainAnalyze("explained analyze"));
+  EXPECT_FALSE(IsExplainAnalyze(""));
+}
+
 TEST(Lexer, Parentheses) {
   auto toks = Lex("COUNT(*)");
   ASSERT_EQ(toks.size(), 5u);

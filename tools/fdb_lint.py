@@ -24,6 +24,13 @@ Rules (each reported as path:line: [rule] message):
                      (src/ stripped), e.g. src/core/frep.h uses
                      FDB_CORE_FREP_H_.
 
+  raw-timing         No std::chrono::steady_clock / high_resolution_clock
+                     outside src/common/ and src/bench_util/. Timing goes
+                     through Timer / MonotonicClock / MonotonicDeadline
+                     (common/timer.h) or QueryTrace spans (common/trace.h),
+                     so every measurement shares one clock source and shows
+                     up in the observability surfaces.
+
   no-abort-on-input  Modules that parse untrusted bytes (src/sql/,
                      src/core/serialize.cc, src/storage/csv.cc,
                      src/serve/protocol.cc) must not contain abort-path
@@ -157,6 +164,23 @@ def check_include_guard(relpath, text):
                 + guard)]
 
 
+RAW_TIMING_RE = re.compile(
+    r'std::chrono::(steady_clock|high_resolution_clock)\b')
+
+
+def check_raw_timing(relpath, text):
+    if not relpath.startswith(('src/', 'fuzz/')):
+        return []
+    if relpath.startswith(('src/common/', 'src/bench_util/')):
+        return []
+    return findings_for(
+        RAW_TIMING_RE, strip_comments(text),
+        lambda m: '[raw-timing] raw std::chrono::%s outside src/common/ — '
+                  'use Timer / MonotonicClock / MonotonicDeadline '
+                  '(common/timer.h) or QueryTrace (common/trace.h)'
+                  % m.group(1))
+
+
 INPUT_PARSING_FILES = re.compile(
     r'src/sql/[^/]+\.(h|cc)|src/core/serialize\.cc|src/storage/csv\.cc'
     r'|src/serve/protocol\.cc')
@@ -181,6 +205,7 @@ CHECKERS = [
     check_guarded_mutex,
     check_validated_ops,
     check_include_guard,
+    check_raw_timing,
     check_no_abort_on_input,
 ]
 
@@ -220,6 +245,9 @@ SELF_TEST_CASES = [
     (check_include_guard, 'src/core/x.h',
      '#ifndef WRONG_H\n#define WRONG_H\n#endif\n',
      '#ifndef FDB_CORE_X_H_\n#define FDB_CORE_X_H_\n#endif\n'),
+    (check_raw_timing, 'src/serve/x.cc',
+     'auto t0 = std::chrono::steady_clock::now();\n',
+     'auto deadline = MonotonicDeadline(0.5);\n'),
     (check_no_abort_on_input, 'src/sql/x.cc',
      'void f() { FDB_ASSERT(ok); }\n',
      'void f() { FDB_CHECK_MSG(ok, "bad input"); }\n'),
