@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util/workload.h"
+#include "common/exec_context.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/enumerate.h"
@@ -195,6 +196,32 @@ void BM_TraceOverhead(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
+
+void BM_GovernanceOverhead(benchmark::State& state) {
+  // The warm kernel enumeration path with no ambient ExecContext (Arg 0 —
+  // every probe is one thread-local load finding nullptr) vs governed by a
+  // context carrying a far deadline and a large memory budget (Arg 1 —
+  // probes take the relaxed-load path, every 256th consults the clock).
+  // The README documents the Arg(1)-vs-Arg(0) delta as the cooperative-
+  // cancellation overhead (<2% required).
+  const bool governed = state.range(0) != 0;
+  const size_t n = 100000;
+  Relation r = RandomRelation({0, 1, 2}, n, 50, 7);
+  FRep rep = GroundRelation(r, 0);
+  EnumKernel kernel = EnumKernel::Compile(rep.tree(), /*visible_only=*/true);
+  EnumerateOptions opts;
+  ExecContext ctx;
+  ctx.SetDeadline(3600.0);
+  ctx.budget().set_limit(size_t{1} << 40);
+  for (auto _ : state) {
+    ExecContext::Scope scope(governed ? &ctx : nullptr);
+    Relation out = MaterializeVisible(rep, opts, &kernel, nullptr);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GovernanceOverhead)->Arg(0)->Arg(1);
 
 void BM_MetricsOverhead(benchmark::State& state) {
   // Cost of one counter increment plus one histogram record — the serve

@@ -20,13 +20,14 @@ if [ ! -d "$BENCH_DIR" ]; then
   echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
   exit 1
 fi
-# Refuse instrumented builds: BENCH_*.json from a sanitizer or
-# FDB_VALIDATE build would silently poison the perf trajectory (ASan ~2x,
-# TSan ~10x, deep validation adds O(|E|) passes per operator). The cache
-# check covers every way those flags can be set (preset, -D, cached).
+# Refuse instrumented builds: BENCH_*.json from a sanitizer, FDB_VALIDATE
+# or FDB_FAULTS build would silently poison the perf trajectory (ASan ~2x,
+# TSan ~10x, deep validation adds O(|E|) passes per operator, fault sites
+# add registry lookups to hot paths). The cache check covers every way
+# those flags can be set (preset, -D, cached).
 CACHE="$BUILD_DIR/CMakeCache.txt"
 if [ -f "$CACHE" ]; then
-  BAD=$(grep -E '^FDB_(SANITIZE|TSAN|UBSAN|VALIDATE):[^=]*=(ON|TRUE|1)$' \
+  BAD=$(grep -E '^FDB_(SANITIZE|TSAN|UBSAN|VALIDATE|FAULTS):[^=]*=(ON|TRUE|1)$' \
         "$CACHE" | cut -d: -f1 | tr '\n' ' ' || true)
   if [ -n "$BAD" ]; then
     echo "error: $BUILD_DIR is an instrumented build ($BAD)" >&2

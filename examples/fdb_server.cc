@@ -5,7 +5,13 @@
 //   $ ./build/examples/fdb_server [--pipe | --port N] [--workers N]
 //                                 [--cache N] [--deadline SECS]
 //                                 [--max-queue N] [--enum-threads N]
+//                                 [--max-memory-bytes N]
+//                                 [--max-result-bytes N]
+//                                 [--max-query-bytes N]
 //                                 [csv files...]
+//
+// The --max-*-bytes knobs are the per-query resource budgets of
+// serve/query_server.h (0 = unlimited); violations answer RESOURCE.
 //
 // Each CSV file is loaded as a relation named after the file stem; without
 // files the sql_repl demo database is preloaded. Two front ends:
@@ -14,7 +20,7 @@
 //   --port N    listen on 127.0.0.1:N, one thread per connection, all
 //               connections multiplex onto the shared worker pool
 // Requests are one SQL statement per line; responses are framed as
-// OK <n-lines>/ERR/TIMEOUT (see serve/protocol.h). Commands:
+// OK <n-lines>/ERR/TIMEOUT/BUSY/RESOURCE (see serve/protocol.h). Commands:
 //   STATS       Prometheus-style metrics exposition (counters + latency
 //               histograms), framed as a regular OK body so pipelining
 //               clients stay in sync
@@ -60,6 +66,9 @@ std::string StatsLine(const QueryServer& server) {
   os << "STATS received=" << s.received << " executed=" << s.executed
      << " coalesced=" << s.coalesced << " errors=" << s.errors
      << " timeouts=" << s.timeouts << " rejected=" << s.rejected
+     << " cancelled=" << s.cancelled
+     << " resource_rejected=" << s.resource_rejected
+     << " submit_expired=" << s.submit_expired
      << " kernels_built=" << s.kernels_built
      << " plan_hits=" << s.plan_cache.hits
      << " plan_misses=" << s.plan_cache.misses
@@ -196,6 +205,15 @@ int main(int argc, char** argv) {
       opts.max_queue = static_cast<size_t>(std::stoul(next("--max-queue")));
     } else if (arg == "--enum-threads") {
       opts.engine.enumerate.threads = std::stoi(next("--enum-threads"));
+    } else if (arg == "--max-memory-bytes") {
+      opts.max_memory_bytes =
+          static_cast<size_t>(std::stoull(next("--max-memory-bytes")));
+    } else if (arg == "--max-result-bytes") {
+      opts.max_result_bytes =
+          static_cast<size_t>(std::stoull(next("--max-result-bytes")));
+    } else if (arg == "--max-query-bytes") {
+      opts.max_query_bytes =
+          static_cast<size_t>(std::stoull(next("--max-query-bytes")));
     } else {
       csv_files.push_back(arg);
     }

@@ -6,8 +6,8 @@
 //     (The plan cache keys on it: a drifting normal form would split or
 //     alias cache entries.)
 //   * FrameResponse keeps the wire format parseable for any body bytes:
-//     ERR/TIMEOUT/BUSY frames are exactly one line, and an OK frame's
-//     advertised line count matches its body.
+//     ERR/TIMEOUT/BUSY/RESOURCE frames are exactly one line, and an OK
+//     frame's advertised line count matches its body.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -47,7 +47,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // Framing must hold for arbitrary bodies, including embedded newlines.
   for (fdb::ServeStatus status :
        {fdb::ServeStatus::kError, fdb::ServeStatus::kTimeout,
-        fdb::ServeStatus::kBusy}) {
+        fdb::ServeStatus::kBusy, fdb::ServeStatus::kResource}) {
     fdb::ServeResponse r;
     r.status = status;
     r.body = input;

@@ -1,0 +1,37 @@
+#include "common/exec_context.h"
+
+#include <string>
+
+namespace fdb {
+
+thread_local ExecContext* ExecContext::tls_current_ = nullptr;
+thread_local uint32_t ExecContext::tls_probe_tick_ = 0;
+
+void MemoryBudget::ChargeOrThrow(size_t bytes) {
+  if (limit_ == 0) {
+    charged_.fetch_add(bytes, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t total =
+      charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (total > limit_) {
+    throw FdbResourceExhausted(
+        "query memory budget exceeded: charged " + std::to_string(total) +
+        " bytes, limit " + std::to_string(limit_));
+  }
+}
+
+void ExecContext::ThrowStop(StopReason reason) const {
+  switch (reason) {
+    case StopReason::kTimeout:
+      throw FdbTimeout("query deadline exceeded");
+    case StopReason::kResource:
+      throw FdbResourceExhausted("query stopped: memory budget exceeded");
+    case StopReason::kCancelled:
+    case StopReason::kNone:  // unreachable: ThrowStop is called with s != 0
+      break;
+  }
+  throw FdbCancelled("query cancelled");
+}
+
+}  // namespace fdb

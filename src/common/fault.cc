@@ -1,0 +1,101 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+#include "common/exec_context.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fdb {
+namespace fault {
+namespace {
+
+struct Site {
+  Spec spec;
+  bool armed = false;
+  uint64_t hits = 0;      // every Hit() at this name, armed or not
+  uint64_t passed = 0;    // hits since arming (for spec.skip)
+  int64_t triggered = 0;  // injections fired since arming
+};
+
+struct Registry {
+  Mutex mu;
+  std::unordered_map<std::string, Site> sites GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites outlive all tests
+  return *r;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, Spec spec) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  Site& site = r.sites[name];
+  site.spec = spec;
+  site.armed = true;
+  site.passed = 0;
+  site.triggered = 0;
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  auto it = r.sites.find(name);
+  if (it != r.sites.end()) it->second.armed = false;
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  for (auto& [name, site] : r.sites) site.armed = false;
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  auto it = r.sites.find(name);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+void Hit(const char* name) {
+  // Decide under the lock, inject outside it: the injections sleep, throw
+  // or re-enter engine code, none of which may hold the registry mutex.
+  Spec spec;
+  bool fire = false;
+  {
+    Registry& r = registry();
+    MutexLock lock(r.mu);
+    Site& site = r.sites[name];
+    ++site.hits;
+    if (!site.armed) return;
+    if (site.passed++ < site.spec.skip) return;
+    if (site.spec.times >= 0 && site.triggered >= site.spec.times) return;
+    ++site.triggered;
+    spec = site.spec;
+    fire = true;
+  }
+  if (!fire) return;
+  switch (spec.kind) {
+    case Kind::kBadAlloc:
+      throw std::bad_alloc();
+    case Kind::kLatency:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spec.latency_seconds));
+      return;
+    case Kind::kCancel:
+      if (ExecContext* ctx = ExecContext::Current()) {
+        ctx->Cancel(ExecContext::StopReason::kCancelled);
+        ctx->CheckCancelled();  // deterministic: unwind at the site itself
+      }
+      return;
+  }
+}
+
+}  // namespace fault
+}  // namespace fdb

@@ -8,10 +8,10 @@ namespace fdb {
 
 /// The project's canonical monotonic clock. All timing outside
 /// src/common/ and src/bench_util/ must go through this alias, Timer,
-/// Deadline or trace spans (common/trace.h) — naming
-/// std::chrono::steady_clock directly elsewhere is a lint violation
-/// (tools/fdb_lint.py raw-timing), so every clock read stays swappable
-/// and traceable from one place.
+/// ExecContext deadlines (common/exec_context.h) or trace spans
+/// (common/trace.h) — naming std::chrono::steady_clock directly
+/// elsewhere is a lint violation (tools/fdb_lint.py raw-timing), so
+/// every clock read stays swappable and traceable from one place.
 using MonotonicClock = std::chrono::steady_clock;
 
 /// Absolute monotonic instant `seconds` from now (e.g. a request
@@ -39,23 +39,6 @@ class Timer {
  private:
   using Clock = MonotonicClock;
   Clock::time_point start_;
-};
-
-/// Simple deadline used to emulate the paper's 100-second query timeout.
-class Deadline {
- public:
-  /// `seconds <= 0` means "no deadline".
-  explicit Deadline(double seconds) : seconds_(seconds) {}
-
-  bool Expired() const {
-    return seconds_ > 0 && timer_.Seconds() > seconds_;
-  }
-
-  double Budget() const { return seconds_; }
-
- private:
-  double seconds_;
-  Timer timer_;
 };
 
 }  // namespace fdb

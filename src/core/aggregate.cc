@@ -5,6 +5,7 @@
 #include <span>
 #include <unordered_set>
 
+#include "common/exec_context.h"
 #include "common/thread_pool.h"
 #include "core/enumerate.h"
 #include "core/ops.h"
@@ -230,7 +231,12 @@ void SolveStats(CollapseCtx& c, uint32_t root) {
   const size_t nu = c.rep.NumUnions();
   std::vector<uint32_t> stack{root};
   std::vector<double> weighted(ns);
+  // Governance probe: the aggregate collapse visits every reachable union,
+  // same cancellation window as the CountTuples DP.
+  ExecContext* const ctx = ExecContext::Current();
+  uint32_t tick = 0;
   while (!stack.empty()) {
+    if (ctx != nullptr && (++tick & 255u) == 0) ctx->CheckCancelled();
     uint32_t id = stack.back();
     if (c.done[id]) {
       stack.pop_back();

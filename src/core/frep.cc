@@ -80,7 +80,12 @@ bool CountDp(const FRep& rep, Num one, Mul mul, Add add, Num* out) {
   std::vector<Num> memo(rep.NumUnions(), Num{});
   std::vector<char> done(rep.NumUnions(), 0);
   std::vector<uint32_t> stack(rep.roots().begin(), rep.roots().end());
+  // Governance probe: the DP touches every reachable union, so large reps
+  // make it a cancellation window in its own right.
+  ExecContext* const ctx = ExecContext::Current();
+  uint32_t tick = 0;
   while (!stack.empty()) {
+    if (ctx != nullptr && (++tick & 255u) == 0) ctx->CheckCancelled();
     uint32_t id = stack.back();
     UnionRef un = rep.u(id);
     if (done[id]) {
@@ -173,7 +178,10 @@ std::vector<double> FRep::SubtreeTupleCounts(
       stack.push_back(roots_[i]);
     }
   }
+  ExecContext* const ctx = ExecContext::Current();
+  uint32_t tick = 0;
   while (!stack.empty()) {
+    if (ctx != nullptr && (++tick & 255u) == 0) ctx->CheckCancelled();
     uint32_t id = stack.back();
     if (done[id]) {
       stack.pop_back();

@@ -45,6 +45,8 @@
 #include <vector>
 
 #include "common/asan.h"
+#include "common/exec_context.h"
+#include "common/fault.h"
 #include "common/types.h"
 #include "core/ftree.h"
 
@@ -365,6 +367,7 @@ inline void UnionBuilder::Abandon() {
 // ---- FRep inline builder plumbing ----
 
 inline UnionBuilder FRep::StartUnion(int node) {
+  ChargeAmbientMemory(sizeof(UnionHeader));
   UnionHeader h;
   h.node = node;
   asan::UnpoisonTail(headers_);
@@ -408,6 +411,16 @@ inline void FRep::ReleaseScratch(Scratch* s) {
 }
 
 inline void FRep::CommitUnion(uint32_t id, const Scratch& s) {
+  // Governance probe at arena-growth granularity: check for cancellation
+  // and charge the appended bytes *before* mutating the arenas, so an
+  // unwinding commit leaves the rep discardable rather than half-written
+  // (the caller's UnionBuilder still owns the scratch and Abandons it).
+  if (ExecContext* ctx = ExecContext::Current()) {
+    ctx->CheckCancelled();
+    ctx->ChargeMemory(s.vals.size() * sizeof(Value) +
+                      s.kids.size() * sizeof(uint32_t));
+  }
+  FDB_FAULT_POINT("frep_arena_commit");
   UnionHeader& h = headers_[id];
   h.val_off = values_.size();
   h.child_off = children_.size();

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/exec_context.h"
+#include "common/fault.h"
 #include "core/ops_common.h"
 #include "core/validate.h"
 
@@ -47,7 +49,16 @@ FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
               [&](int x, int y) { return tree.Depth(x) < tree.Depth(y); });
   }
 
+  // Governance: grounding dominates pathological queries, so it probes the
+  // ambient ExecContext (common/exec_context.h) at two granularities — per
+  // relation prepared (each filter+sort is one uninterruptible block) and
+  // per leapfrog iteration inside build (a relaxed atomic load; the clock
+  // is strided inside CheckCancelled).
+  ExecContext* const ctx = ExecContext::Current();
+
   for (size_t r = 0; r < nrels; ++r) {
+    if (ctx != nullptr) ctx->CheckCancelled();
+    FDB_FAULT_POINT("ground_prepare_relation");
     RelState s{*rels[r], std::vector<size_t>(tree.pool_size(), SIZE_MAX)};
     // Constant predicates on this relation's attributes.
     for (const ConstPred& p : preds) {
@@ -94,6 +105,7 @@ FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
     const FTreeNode& nd = tree.node(n);
     std::vector<AttrId> here = nd.cover_rels.ToVector();
     FDB_CHECK(!here.empty());
+    FDB_FAULT_POINT("ground_build_union");
     UnionBuilder nu = out.StartUnion(n);
 
     // Leapfrog over the covering relations' sorted columns.
@@ -102,6 +114,7 @@ FRep GroundQuery(const FTree& tree, const std::vector<const Relation*>& rels,
       cursor[i] = range[here[i]].first;
     }
     for (;;) {
+      if (ctx != nullptr) ctx->CheckCancelled();
       // Propose the max of the current heads; stop if any range is done.
       bool exhausted = false;
       Value v = std::numeric_limits<Value>::min();

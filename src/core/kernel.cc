@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 
+#include "common/exec_context.h"
+#include "common/fault.h"
+
 namespace fdb {
 
 namespace {
@@ -104,6 +107,7 @@ uint64_t EnumKernel::Run(const FRep& rep, std::span<const EntryBound> bounds,
   }
   FDB_CHECK_MSG(bounds.size() <= steps_.size(),
                 "more entry bounds than enumeration frames");
+  FDB_FAULT_POINT("kernel_run");
   if (rep.empty()) return 0;
   const size_t n = steps_.size();
   if (n == 0) return 1;  // nullary stream: one empty row, nothing appended
@@ -154,6 +158,13 @@ uint64_t EnumKernel::Run(const FRep& rep, std::span<const EntryBound> bounds,
     if (!reset(i)) return 0;  // a bound missed its union: empty stream
   }
 
+  // Governance probe, hoisted and strided: one thread-local load per Run,
+  // then a relaxed atomic load every 64th emitted run — cheap enough to
+  // stay within noise on the warm path (BM_GovernanceOverhead) while
+  // bounding time-to-cancel even for a single whole-stream morsel.
+  ExecContext* const ctx = ExecContext::Current();
+  uint32_t probe_tick = 0;
+
   uint64_t rows = 0;
   const size_t ncols = schema_.size();
   // Columns NOT owned by the innermost frame: constant across a run, so
@@ -172,6 +183,7 @@ uint64_t EnumKernel::Run(const FRep& rep, std::span<const EntryBound> bounds,
     }
   }
   for (;;) {
+    if (ctx != nullptr && (++probe_tick & 63u) == 0) ctx->CheckCancelled();
     RunFrame& lf = run[n - 1];
     if constexpr (kEmit) {
       // Innermost frame: emit the whole run at once. One resize per run

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/exec_context.h"
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "core/kernel.h"
 #include "core/validate.h"
@@ -205,11 +207,24 @@ void ParallelEnumerator::ForEachChunk(
     const std::function<void(size_t)>& fn) const {
   const size_t n = plan_.morsels.size();
   if (n == 0) return;
+  // Morsel tasks may run on pool threads, where the caller's governance
+  // context is not ambient: capture it here and re-bind it inside every
+  // chunk, so each worker observes the same cancellation flag and charges
+  // the same budget. ParallelFor propagates the first exception back to
+  // this caller; sibling morsels see the flagged context and stop at their
+  // next probe, bounding reclaim time.
+  ExecContext* const ctx = ExecContext::Current();
+  auto governed = [&fn, ctx](size_t i) {
+    ExecContext::Scope scope(ctx);
+    if (ctx != nullptr) ctx->CheckCancelled();
+    FDB_FAULT_POINT("enumerate_morsel");
+    fn(i);
+  };
   if (threads_ <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) governed(i);
     return;
   }
-  ThreadPool::Shared().ParallelFor(n, fn, threads_);
+  ThreadPool::Shared().ParallelFor(n, governed, threads_);
 }
 
 void ParallelEnumerator::Enumerate(
@@ -241,11 +256,14 @@ Relation EmitInterpreted(const FRep& rep, const ParallelEnumerator& pe) {
   // pre-sort stream is byte-identical to the sequential enumeration.
   std::vector<std::vector<Value>> chunks(pe.num_chunks());
   pe.Enumerate([&](size_t c, TupleEnumerator& en) {
+    ExecContext* const ctx = ExecContext::Current();
+    uint32_t tick = 0;
     std::vector<Value>& buf = chunks[c];
     const double est =
         pe.plan().morsels[c].est_tuples * static_cast<double>(arity);
     if (est > 0.0 && est < 2e9) buf.reserve(static_cast<size_t>(est));
     while (en.Next()) {
+      if (ctx != nullptr && (++tick & 8191u) == 0) ctx->CheckCancelled();
       for (AttrId a : schema) buf.push_back(en.ValueOf(a));
     }
   });

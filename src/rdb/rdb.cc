@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/exec_context.h"
 #include "common/hash.h"
 #include "rdb/join_plan.h"
 
@@ -39,8 +40,7 @@ Relation PrepareRelation(const QueryInfo& info, const Relation& in,
 // Sort-merge join; returns false when a limit was hit.
 bool SortMergeJoin(Relation* left, Relation* right,
                    const std::vector<std::pair<AttrId, AttrId>>& keys,
-                   const RdbOptions& opts, const Deadline& deadline,
-                   Relation* out) {
+                   const RdbOptions& opts, ExecContext* ctx, Relation* out) {
   std::vector<size_t> lcols, rcols;
   for (const auto& [la, ra] : keys) {
     lcols.push_back(left->ColumnOf(la));
@@ -93,7 +93,7 @@ bool SortMergeJoin(Relation* left, Relation* right,
           return false;
         }
       }
-      if (deadline.Expired()) return false;
+      if (ctx->StopRequested()) return false;
     }
     li = le;
     ri = re;
@@ -107,7 +107,11 @@ RdbResult RdbEvaluate(const Catalog& catalog,
                       const std::vector<const Relation*>& rels,
                       const Query& q, const RdbOptions& opts) {
   QueryInfo info = AnalyzeQuery(catalog, q);
-  Deadline deadline(opts.timeout_seconds);
+  // Baselines share the engine's governance clock (common/exec_context.h):
+  // the same strided deadline probe FDB uses, read non-throwing so a hit
+  // reports as data (timed_out) rather than unwinding.
+  ExecContext exec_ctx;
+  if (opts.timeout_seconds > 0) exec_ctx.SetDeadline(opts.timeout_seconds);
 
   std::vector<Relation> prepared;
   prepared.reserve(rels.size());
@@ -126,7 +130,7 @@ RdbResult RdbEvaluate(const Catalog& catalog,
     std::vector<AttrId> schema = current.schema();
     schema.insert(schema.end(), next.schema().begin(), next.schema().end());
     Relation joined(schema);
-    if (!SortMergeJoin(&current, &next, keys, opts, deadline, &joined)) {
+    if (!SortMergeJoin(&current, &next, keys, opts, &exec_ctx, &joined)) {
       res.timed_out = true;
       res.relation = std::move(joined);
       return res;

@@ -130,6 +130,8 @@ std::string FrameResponse(const ServeResponse& r) {
       return "TIMEOUT " + one_line(r.body) + "\n";
     case ServeStatus::kBusy:
       return "BUSY " + one_line(r.body) + "\n";
+    case ServeStatus::kResource:
+      return "RESOURCE " + one_line(r.body) + "\n";
   }
   return "ERR unreachable\n";
 }

@@ -8,6 +8,11 @@
 //   TIMEOUT <message>\n deadline exceeded before the result was ready
 //   BUSY <message>\n    rejected: the request queue is at its bound
 //                       (ServeOptions::max_queue) — retry later
+//   RESOURCE <message>\n rejected or stopped on a resource bound: query
+//                       memory budget (ServeOptions::max_memory_bytes),
+//                       result/query size caps, or allocation failure —
+//                       the query is the problem, not the load; do not
+//                       retry unchanged
 //
 // The body rendering is deterministic: identical queries on an identical
 // database produce byte-identical bodies regardless of thread interleaving
@@ -53,7 +58,7 @@ std::string RenderResult(const Database& db, const FdbResult& res);
 bool IsStatsRequest(const std::string& line);
 
 /// Outcome status of one served request.
-enum class ServeStatus { kOk, kError, kTimeout, kBusy };
+enum class ServeStatus { kOk, kError, kTimeout, kBusy, kResource };
 
 /// One served response plus serve-path metadata (not part of the rendered
 /// body, so coalesced/cached answers stay byte-identical to cold ones).

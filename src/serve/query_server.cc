@@ -1,9 +1,11 @@
 #include "serve/query_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "core/kernel.h"
 
@@ -21,6 +23,10 @@ QueryServer::QueryServer(Database* db, ServeOptions opts)
       timeouts_(metrics_.GetCounter("fdb_serve_timeouts_total")),
       rejected_(metrics_.GetCounter("fdb_serve_rejected_total")),
       kernels_built_(metrics_.GetCounter("fdb_serve_kernels_built_total")),
+      cancelled_(metrics_.GetCounter("fdb_server_cancelled_total")),
+      resource_rejected_(
+          metrics_.GetCounter("fdb_server_resource_rejected_total")),
+      submit_expired_(metrics_.GetCounter("fdb_server_submit_expired_total")),
       queue_wait_hist_(metrics_.GetHistogram("fdb_serve_queue_wait_seconds")),
       cache_lookup_hist_(
           metrics_.GetHistogram("fdb_serve_cache_lookup_seconds")),
@@ -41,6 +47,30 @@ std::future<ServeResponse> QueryServer::Submit(const std::string& sql,
   if (deadline > 0.0) {
     waiter.has_deadline = true;
     waiter.deadline = MonotonicDeadline(deadline);
+  }
+
+  // Enqueue-time governance, cheapest checks first. An oversized statement
+  // is rejected before it is even lexed; an already-expired deadline is
+  // answered TIMEOUT without burning a queue slot (counted separately from
+  // dequeue-time expiry under submit_expired).
+  if (opts_.max_query_bytes > 0 && sql.size() > opts_.max_query_bytes) {
+    received_.Increment();
+    resource_rejected_.Increment();
+    waiter.promise.set_value(ServeResponse{
+        ServeStatus::kResource,
+        "query too large: " + std::to_string(sql.size()) + " bytes, limit " +
+            std::to_string(opts_.max_query_bytes),
+        false, false});
+    return future;
+  }
+  if (waiter.has_deadline && waiter.deadline <= Clock::now()) {
+    received_.Increment();
+    timeouts_.Increment();
+    submit_expired_.Increment();
+    waiter.promise.set_value(ServeResponse{ServeStatus::kTimeout,
+                                           "deadline expired before enqueue",
+                                           false, false});
+    return future;
   }
 
   // Normalise outside the lock; an unlexable statement is answered
@@ -169,6 +199,33 @@ void QueryServer::ExecuteGroup(Group& group) {
   }
   if (live.empty()) return;
 
+  // Governance context for this evaluation. Coalesced waiters share one
+  // execution, so the binding deadline is the *least* restrictive over the
+  // live waiters — with any no-deadline waiter the evaluation runs
+  // undeadlined (impatient waiters are still answered TIMEOUT at
+  // delivery). The memory budget comes from ServeOptions; the context is
+  // registered in active_ so Shutdown can cancel a running evaluation
+  // cooperatively instead of waiting it out.
+  ExecContext ctx;
+  bool all_deadlined = true;
+  Clock::time_point latest = Clock::time_point::min();
+  for (const Waiter& w : live) {
+    if (!w.has_deadline) {
+      all_deadlined = false;
+      break;
+    }
+    latest = std::max(latest, w.deadline);
+  }
+  if (all_deadlined) ctx.SetDeadlineAt(latest);
+  if (opts_.max_memory_bytes > 0) {
+    ctx.budget().set_limit(opts_.max_memory_bytes);
+  }
+  {
+    MutexLock lock(mu_);
+    active_.push_back(&ctx);
+    if (stopping_) ctx.Cancel();  // lost the race with Shutdown's sweep
+  }
+
   // EXPLAIN ANALYZE runs the identical pipeline under a QueryTrace and
   // answers with the rendered span tree. Normalisation folds keywords to
   // lower case, so the signature prefix identifies explain statements
@@ -181,7 +238,12 @@ void QueryServer::ExecuteGroup(Group& group) {
   ServeResponse response;
   bool built_kernel = false;
   Timer exec_timer;
-  try {
+  // The evaluation proper, lifted into a lambda so the try below can run
+  // it under TranslateBadAlloc: an allocation failure anywhere inside
+  // surfaces as FdbResourceExhausted (-> RESOURCE) instead of a
+  // process-killing bad_alloc.
+  auto evaluate = [&] {
+    FDB_FAULT_POINT("serve_execute_group");
     std::optional<QueryTrace::Scope> root;
     if (tp != nullptr) {
       root.emplace(tp, "serve");
@@ -248,16 +310,47 @@ void QueryServer::ExecuteGroup(Group& group) {
       root.reset();  // close the "serve" span before rendering the tree
       result.explain = trace->Render();
     }
-    response.status = ServeStatus::kOk;
     Timer render_timer;
+    FDB_FAULT_POINT("serve_render");
     response.body = RenderResult(*db_, result);
     render_hist_.Record(render_timer.Seconds());
+    if (opts_.max_result_bytes > 0 &&
+        response.body.size() > opts_.max_result_bytes) {
+      const size_t size = response.body.size();
+      response.body.clear();  // drop the oversized render before framing
+      throw FdbResourceExhausted(
+          "result too large: " + std::to_string(size) + " bytes, limit " +
+          std::to_string(opts_.max_result_bytes));
+    }
+    response.status = ServeStatus::kOk;
+  };
+  try {
+    // Bind the governance context for the whole evaluation; operators
+    // re-bind it on pool threads via ParallelEnumerator::ForEachChunk.
+    ExecContext::Scope scope(&ctx);
+    TranslateBadAlloc(evaluate, "query evaluation");
+  } catch (const FdbTimeout& e) {
+    cancelled_.Increment();
+    response.status = ServeStatus::kTimeout;
+    response.body = e.what();
+  } catch (const FdbResourceExhausted& e) {
+    cancelled_.Increment();
+    response.status = ServeStatus::kResource;
+    response.body = e.what();
+  } catch (const FdbCancelled& e) {
+    cancelled_.Increment();
+    response.status = ServeStatus::kError;
+    response.body = e.what();
   } catch (const FdbError& e) {
     response.status = ServeStatus::kError;
     response.body = e.what();
   } catch (const std::exception& e) {
     response.status = ServeStatus::kError;
     response.body = std::string("internal error: ") + e.what();
+  }
+  {
+    MutexLock lock(mu_);
+    active_.erase(std::find(active_.begin(), active_.end(), &ctx));
   }
   execute_hist_.Record(exec_timer.Seconds());
 
@@ -269,6 +362,7 @@ void QueryServer::ExecuteGroup(Group& group) {
   std::vector<ServeResponse> outcomes;
   outcomes.reserve(live.size());
   uint64_t delivered_errors = 0, delivered_timeouts = 0;
+  uint64_t delivered_resource = 0;
   for (const Waiter& w : live) {
     ServeResponse r = response;
     r.coalesced = w.coalesced;
@@ -279,12 +373,15 @@ void QueryServer::ExecuteGroup(Group& group) {
       ++delivered_timeouts;
     } else if (r.status == ServeStatus::kError) {
       ++delivered_errors;
+    } else if (r.status == ServeStatus::kResource) {
+      ++delivered_resource;
     }
     outcomes.push_back(std::move(r));
   }
   executed_.Increment();
   errors_.Increment(delivered_errors);
   timeouts_.Increment(delivered_timeouts);
+  resource_rejected_.Increment(delivered_resource);
   if (built_kernel) kernels_built_.Increment();
   for (size_t i = 0; i < live.size(); ++i) {
     live[i].promise.set_value(std::move(outcomes[i]));
@@ -300,6 +397,9 @@ ServerStats QueryServer::stats() const {
   s.timeouts = timeouts_.Value();
   s.rejected = rejected_.Value();
   s.kernels_built = kernels_built_.Value();
+  s.cancelled = cancelled_.Value();
+  s.resource_rejected = resource_rejected_.Value();
+  s.submit_expired = submit_expired_.Value();
   s.plan_cache = cache_.stats();
   return s;
 }
@@ -309,6 +409,11 @@ void QueryServer::Shutdown() {
   {
     MutexLock lock(mu_);
     stopping_ = true;
+    // Cancel running evaluations cooperatively: each in-flight worker's
+    // context flips, its next engine probe unwinds (answered ERR), and the
+    // inflight_ wait below completes in bounded time even against
+    // arbitrarily long queries.
+    for (ExecContext* ctx : active_) ctx->Cancel();
     // Drain unexecuted work so no future is left dangling.
     while (!queue_.empty()) {
       open_.erase(queue_.front()->signature);

@@ -29,8 +29,13 @@
 // after its first successful execution, carrying a compiled enumeration
 // kernel (core/kernel.h) specialised to the result shape — warm repeats
 // reuse it without recompiling (ServerStats::kernels_built stays flat).
-// Per-request deadlines are enforced at dequeue (expired requests are
-// answered TIMEOUT without evaluating) and again at delivery.
+// Per-request deadlines are enforced at Submit (an already-expired
+// deadline is answered TIMEOUT without burning a queue slot), at dequeue
+// (expired requests are answered TIMEOUT without evaluating), *during*
+// evaluation (the worker binds an ExecContext — common/exec_context.h —
+// carrying the group's least-restrictive deadline and the per-query
+// memory budget, and the engine's cooperative probes unwind to TIMEOUT /
+// RESOURCE in bounded time, reclaiming the worker) and again at delivery.
 //
 // Observability: every server owns a MetricsRegistry (common/metrics.h)
 // holding its request counters, the plan-cache counters and four latency
@@ -60,6 +65,7 @@
 
 #include "api/database.h"
 #include "api/engine.h"
+#include "common/exec_context.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -83,6 +89,20 @@ struct ServeOptions {
   /// BUSY immediately; requests that coalesce onto an already-queued
   /// group are always admitted (they add no queue pressure).
   size_t max_queue = 0;
+  /// Resource governance (0 = unlimited for each). Violations answer
+  /// RESOURCE (serve/protocol.h) — the query is the problem, not the
+  /// load, so clients should not retry unchanged.
+  ///
+  /// Per-query memory budget: cumulative bytes of FRep arena growth one
+  /// evaluation may charge (common/exec_context.h) before it is stopped
+  /// cooperatively mid-execution.
+  size_t max_memory_bytes = 0;
+  /// Maximum rendered response body size; larger results are dropped and
+  /// answered RESOURCE after evaluation.
+  size_t max_result_bytes = 0;
+  /// Maximum accepted SQL statement length, checked at Submit before any
+  /// parsing.
+  size_t max_query_bytes = 0;
   EngineOptions engine;              ///< forwarded to the shared Engine
 };
 
@@ -106,6 +126,18 @@ struct ServerStats {
   uint64_t errors = 0;     ///< requests answered ERR
   uint64_t timeouts = 0;   ///< requests answered TIMEOUT
   uint64_t rejected = 0;   ///< requests answered BUSY (queue at max_queue)
+  /// Evaluations stopped mid-execution by governance (deadline, explicit
+  /// cancellation, or memory budget) — the cooperative-probe path in
+  /// common/exec_context.h actually fired. Counts evaluations, not
+  /// waiters.
+  uint64_t cancelled = 0;
+  /// Requests answered RESOURCE (memory budget, result size cap, query
+  /// size cap, or allocation failure).
+  uint64_t resource_rejected = 0;
+  /// Requests whose deadline had already passed at Submit — answered
+  /// TIMEOUT without ever occupying a queue slot. A subset of timeouts
+  /// (each such request counts under both).
+  uint64_t submit_expired = 0;
   /// Enumeration kernels compiled (one per plan-cache miss of a
   /// non-aggregate query). Stays flat across warm repeats: cached plans
   /// carry their kernel, so hits never recompile.
@@ -195,6 +227,9 @@ class QueryServer {
   Counter& timeouts_;
   Counter& rejected_;
   Counter& kernels_built_;
+  Counter& cancelled_;          ///< fdb_server_cancelled_total
+  Counter& resource_rejected_;  ///< fdb_server_resource_rejected_total
+  Counter& submit_expired_;     ///< fdb_server_submit_expired_total
   Histogram& queue_wait_hist_;    ///< Submit enqueue -> worker dequeue
   Histogram& cache_lookup_hist_;  ///< PlanCache::Lookup wall time
   Histogram& execute_hist_;       ///< whole evaluation (lookup..render)
@@ -206,6 +241,11 @@ class QueryServer {
   /// signature -> queued group (the pointee is owned by queue_ and only
   /// mutated under mu_ while the group is queued).
   std::unordered_map<std::string, Group*> open_ GUARDED_BY(mu_);
+  /// Governance contexts of evaluations currently running, so Shutdown can
+  /// cancel them cooperatively instead of waiting out arbitrarily long
+  /// queries. Each ExecuteGroup registers its stack-local context for the
+  /// duration of the evaluation.
+  std::vector<ExecContext*> active_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
 
   /// Queue-draining pool tasks currently running (or scheduled and not yet

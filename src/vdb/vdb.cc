@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/exec_context.h"
 #include "rdb/join_plan.h"
 
 namespace fdb {
@@ -92,7 +93,10 @@ VdbResult VdbEvaluate(const Catalog& catalog,
                       const std::vector<const Relation*>& rels,
                       const Query& q, const VdbOptions& opts) {
   IteratorPtr plan = VdbBuildPlan(catalog, rels, q);
-  Deadline deadline(opts.timeout_seconds);
+  // Same governance clock as FDB and rdb (common/exec_context.h), read
+  // non-throwing: a deadline hit reports as data (timed_out).
+  ExecContext exec_ctx;
+  if (opts.timeout_seconds > 0) exec_ctx.SetDeadline(opts.timeout_seconds);
 
   VdbResult res;
   Relation out(plan->schema());
@@ -107,7 +111,7 @@ VdbResult VdbEvaluate(const Catalog& catalog,
     }
     if (++since_check >= 4096) {
       since_check = 0;
-      if (deadline.Expired()) {
+      if (exec_ctx.StopRequested()) {
         res.timed_out = true;
         break;
       }

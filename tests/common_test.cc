@@ -8,6 +8,7 @@
 
 #include "common/attrset.h"
 #include "common/dictionary.h"
+#include "common/exec_context.h"
 #include "common/rng.h"
 #include "common/str.h"
 #include "common/thread_pool.h"
@@ -277,6 +278,80 @@ TEST(ThreadPool, ConcurrentParallelForsFromManyThreads) {
   for (int c = 0; c < kCallers; ++c) {
     EXPECT_EQ(sums[c].load(), 20u * (100u * 101u / 2u));
   }
+}
+
+TEST(ExecContext, AmbientScopeBindsAndRestores) {
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+  ExecContext outer;
+  {
+    ExecContext::Scope s1(&outer);
+    EXPECT_EQ(ExecContext::Current(), &outer);
+    ExecContext inner;
+    {
+      ExecContext::Scope s2(&inner);
+      EXPECT_EQ(ExecContext::Current(), &inner);
+    }
+    EXPECT_EQ(ExecContext::Current(), &outer);
+  }
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+}
+
+TEST(ExecContext, CancelUnwindsAndFirstReasonWins) {
+  ExecContext ctx;
+  EXPECT_NO_THROW(ctx.CheckCancelled());
+  EXPECT_FALSE(ctx.StopRequested());
+  ctx.Cancel();
+  ctx.Cancel(ExecContext::StopReason::kResource);  // loses the race
+  EXPECT_TRUE(ctx.StopRequested());
+  EXPECT_EQ(ctx.stop_reason(), ExecContext::StopReason::kCancelled);
+  EXPECT_THROW(ctx.CheckCancelled(), FdbCancelled);
+  EXPECT_THROW(ctx.CheckCancelled(), FdbError);  // subclass of FdbError
+}
+
+TEST(ExecContext, ExpiredDeadlineTripsWithinOneStride) {
+  ExecContext ctx;
+  ctx.SetDeadline(1e-9);
+  // The deadline clock is consulted every kDeadlineStride-th probe per
+  // thread, so an expired deadline must surface within one full stride.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 600; ++i) ctx.CheckCancelled();
+      },
+      FdbTimeout);
+  EXPECT_EQ(ctx.stop_reason(), ExecContext::StopReason::kTimeout);
+  // Once tripped, every subsequent probe throws immediately.
+  EXPECT_THROW(ctx.CheckCancelled(), FdbTimeout);
+}
+
+TEST(ExecContext, MemoryBudgetIsCumulative) {
+  ExecContext ctx;
+  ctx.budget().set_limit(100);
+  ctx.ChargeMemory(60);
+  EXPECT_EQ(ctx.budget().charged(), 60u);
+  EXPECT_THROW(ctx.ChargeMemory(60), FdbResourceExhausted);
+  // The over-budget charge also flags the context so sibling threads of
+  // the same evaluation stop at their next probe.
+  EXPECT_EQ(ctx.stop_reason(), ExecContext::StopReason::kResource);
+  EXPECT_THROW(ctx.CheckCancelled(), FdbResourceExhausted);
+}
+
+TEST(ExecContext, UnlimitedBudgetNeverThrows) {
+  ExecContext ctx;  // limit 0 = unlimited
+  for (int i = 0; i < 1000; ++i) ctx.ChargeMemory(1 << 20);
+  EXPECT_NO_THROW(ctx.CheckCancelled());
+}
+
+TEST(ExecContext, AmbientHelpersAreNoOpsWithoutContext) {
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+  EXPECT_NO_THROW(CheckAmbientCancelled());
+  EXPECT_NO_THROW(ChargeAmbientMemory(size_t{1} << 40));
+}
+
+TEST(ExecContext, TranslateBadAllocMapsToResourceExhausted) {
+  EXPECT_THROW(
+      TranslateBadAlloc([] { throw std::bad_alloc(); }, "unit test"),
+      FdbResourceExhausted);
+  EXPECT_EQ(TranslateBadAlloc([] { return 41 + 1; }, "unit test"), 42);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Fault-injection suite (common/fault.h): arms each FDB_FAULT_POINT site
+// and drives QueryServer through the injected fault, asserting the
+// governance contract the rest of the repo assumes —
+//
+//   * every injected fault surfaces as a graceful protocol outcome
+//     (ERR / TIMEOUT / RESOURCE), never a crash or a poisoned server;
+//   * a retry after disarming returns a byte-identical body to the
+//     clean run (failing plans are never cached);
+//   * the server's stats stay consistent across faults;
+//   * teardown is clean (the whole suite runs under the ASan and TSan
+//     presets in CI with FDB_FAULTS=ON).
+//
+// Without FDB_FAULTS the sites compile out; every test skips itself via
+// fault::kEnabled so the suite builds and passes in all configurations.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/exec_context.h"
+#include "common/fault.h"
+#include "core/ground.h"
+#include "core/kernel.h"
+#include "core/parallel_enumerate.h"
+#include "serve/query_server.h"
+#include "storage/relation.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing_util::MakeGroceryDb;
+
+#define SKIP_WITHOUT_FAULTS()                                          \
+  do {                                                                 \
+    if (!fault::kEnabled) {                                            \
+      GTEST_SKIP() << "built without FDB_FAULTS; sites compiled out."; \
+    }                                                                  \
+  } while (0)
+
+const char kSpj[] = "SELECT * FROM Orders, Store WHERE o_item = s_item";
+const char kAgg[] =
+    "SELECT s_location, COUNT(*) FROM Orders, Store "
+    "WHERE o_item = s_item GROUP BY s_location";
+
+ServeOptions Workers(int n) {
+  ServeOptions o;
+  o.num_workers = n;
+  return o;
+}
+
+// Every fault site reachable from a cold serve evaluation of kSpj.
+const std::vector<std::string>& ServeReachableSites() {
+  static const std::vector<std::string> sites = {
+      "serve_execute_group",
+      "ground_prepare_relation",
+      "ground_build_union",
+      "frep_arena_commit",
+      "serve_render",
+  };
+  return sites;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, RegistryCountsHitsAndDisarms) {
+  SKIP_WITHOUT_FAULTS();
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(1));
+  const uint64_t before = fault::HitCount("frep_arena_commit");
+  ASSERT_EQ(server.Query(kSpj).status, ServeStatus::kOk);
+  EXPECT_GT(fault::HitCount("frep_arena_commit"), before)
+      << "evaluating a join must commit unions through the fault site";
+}
+
+// bad_alloc injected at each engine/serve boundary surfaces as RESOURCE
+// (TranslateBadAlloc in the worker), and a disarmed retry is byte-identical
+// to the clean run.
+TEST_F(FaultInjectionTest, BadAllocSurfacesAsResourceAndRetryIsClean) {
+  SKIP_WITHOUT_FAULTS();
+  auto db = MakeGroceryDb();
+  for (const std::string& site : ServeReachableSites()) {
+    QueryServer server(db.get(), Workers(1));
+    const std::string clean = server.Query(kSpj).body;
+    ASSERT_FALSE(clean.empty());
+
+    fault::Arm(site, {fault::Kind::kBadAlloc, 0, 1, 0.0});
+    ServeResponse faulted = server.Query(kSpj);
+    EXPECT_EQ(faulted.status, ServeStatus::kResource)
+        << "site " << site << " answered: " << faulted.body;
+    EXPECT_NE(faulted.body.find("out of memory"), std::string::npos);
+
+    fault::DisarmAll();
+    ServeResponse retry = server.Query(kSpj);
+    EXPECT_EQ(retry.status, ServeStatus::kOk) << "site " << site;
+    EXPECT_EQ(retry.body, clean)
+        << "retry after fault at " << site << " must be byte-identical";
+
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.resource_rejected, 1u) << "site " << site;
+    EXPECT_EQ(s.cancelled, 1u) << "site " << site;
+    EXPECT_LE(s.received,
+              s.executed + s.coalesced + s.rejected + s.timeouts +
+                  s.resource_rejected)
+        << "site " << site;
+  }
+}
+
+// The aggregate path commits unions through the same arena site.
+TEST_F(FaultInjectionTest, BadAllocOnAggregatePathIsGraceful) {
+  SKIP_WITHOUT_FAULTS();
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(1));
+  ServeResponse clean = server.Query(kAgg);
+  ASSERT_EQ(clean.status, ServeStatus::kOk) << clean.body;
+  fault::Arm("frep_arena_commit", {fault::Kind::kBadAlloc, 0, 1, 0.0});
+  ServeResponse faulted = server.Query(kAgg);
+  EXPECT_EQ(faulted.status, ServeStatus::kResource) << faulted.body;
+  fault::DisarmAll();
+  EXPECT_EQ(server.Query(kAgg).body, clean.body);
+}
+
+// Latency injected ahead of the evaluation plus a short deadline: the
+// worker sleeps through the deadline, and the next cooperative probe
+// unwinds to TIMEOUT. The worker survives and serves the retry.
+TEST_F(FaultInjectionTest, LatencyPlusDeadlineTimesOutGracefully) {
+  SKIP_WITHOUT_FAULTS();
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(1));
+  fault::Arm("serve_execute_group", {fault::Kind::kLatency, 0, 1, 0.25});
+  ServeResponse r = server.Query(kSpj, /*deadline_seconds=*/0.05);
+  EXPECT_EQ(r.status, ServeStatus::kTimeout) << r.body;
+  fault::DisarmAll();
+  EXPECT_EQ(server.Query(kSpj).status, ServeStatus::kOk);
+  EXPECT_GE(server.stats().timeouts, 1u);
+}
+
+// Cancellation injected mid-evaluation: the ambient context flips, the
+// site's own probe unwinds as FdbCancelled, and the server answers ERR.
+TEST_F(FaultInjectionTest, CancelMidEvaluationAnswersErr) {
+  SKIP_WITHOUT_FAULTS();
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(1));
+  fault::Arm("ground_build_union", {fault::Kind::kCancel, 0, 1, 0.0});
+  ServeResponse r = server.Query(kSpj);
+  EXPECT_EQ(r.status, ServeStatus::kError);
+  EXPECT_NE(r.body.find("cancelled"), std::string::npos) << r.body;
+  EXPECT_EQ(server.stats().cancelled, 1u);
+  EXPECT_EQ(server.Query(kSpj).status, ServeStatus::kOk);
+}
+
+// The enumeration sites are not on the serve render path (it renders the
+// factorised expression); drive them directly through materialisation.
+TEST_F(FaultInjectionTest, EnumerationSitesUnwindCleanly) {
+  SKIP_WITHOUT_FAULTS();
+  Relation rel({0, 1});
+  for (Value a = 0; a < 64; ++a) {
+    for (Value b = 0; b < 8; ++b) rel.AddTuple({a, a * 8 + b});
+  }
+  FRep rep = GroundRelation(rel, 0);
+  EnumKernel kernel = EnumKernel::Compile(rep.tree(), /*visible_only=*/true);
+  EnumerateOptions opts;
+  opts.threads = 2;
+  opts.parallel_cutoff = 1;  // force morsel dispatch through the pool
+  const Relation clean = MaterializeVisible(rep, opts, &kernel, nullptr);
+
+  for (const char* site : {"enumerate_morsel", "kernel_run"}) {
+    fault::Arm(site, {fault::Kind::kBadAlloc, 0, 1, 0.0});
+    EXPECT_THROW(MaterializeVisible(rep, opts, &kernel, nullptr),
+                 std::bad_alloc)
+        << site;
+    fault::DisarmAll();
+    Relation retry = MaterializeVisible(rep, opts, &kernel, nullptr);
+    EXPECT_EQ(retry.size(), clean.size()) << site;
+    EXPECT_TRUE(testing_util::SameRelation(rep, retry)) << site;
+  }
+}
+
+// Repeated faults do not poison the server: alternate faulted and clean
+// queries and check the stats identity at quiescence.
+TEST_F(FaultInjectionTest, StatsStayConsistentAcrossRepeatedFaults) {
+  SKIP_WITHOUT_FAULTS();
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(2));
+  for (int round = 0; round < 4; ++round) {
+    fault::Arm("ground_build_union", {fault::Kind::kBadAlloc, 0, 1, 0.0});
+    EXPECT_EQ(server.Query(kSpj).status, ServeStatus::kResource);
+    fault::DisarmAll();
+    EXPECT_EQ(server.Query(kSpj).status, ServeStatus::kOk);
+  }
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.received, 8u);
+  EXPECT_EQ(s.executed + s.coalesced + s.rejected, s.received);
+  EXPECT_EQ(s.resource_rejected, 4u);
+  EXPECT_EQ(s.cancelled, 4u);
+}
+
+}  // namespace
+}  // namespace fdb

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/timer.h"
 #include "serve/plan_cache.h"
 #include "serve/protocol.h"
 #include "serve/query_server.h"
@@ -631,6 +632,151 @@ TEST(Protocol, FrameResponse) {
                 ServeStatus::kBusy, "server overloaded: request queue is full",
                 false, false}),
             "BUSY server overloaded: request queue is full\n");
+  EXPECT_EQ(FrameResponse(ServeResponse{
+                ServeStatus::kResource, "query memory budget\nexceeded",
+                false, false}),
+            "RESOURCE query memory budget exceeded\n");
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance: deadlines mid-evaluation, memory budgets, size caps
+// ---------------------------------------------------------------------------
+
+// A dense random 7-way chain join Chain1 |x| ... |x| Chain7 over a small
+// value domain: the factorised representation branches by up to `domain`
+// at every chain level, so grounding alone runs for seconds uncancelled
+// (~3s release at domain 50) while any single relation stays tiny.
+std::unique_ptr<Database> MakeChainDb(int relations, int domain, int rows,
+                                      uint64_t seed) {
+  auto db = std::make_unique<Database>();
+  std::mt19937_64 rng(seed);
+  for (int i = 1; i <= relations; ++i) {
+    RelId rel = db->CreateRelation(
+        "Chain" + std::to_string(i),
+        {"k" + std::to_string(i), "k" + std::to_string(i) + "b"});
+    for (int r = 0; r < rows; ++r) {
+      auto v = [&] {
+        return static_cast<int64_t>(rng() % static_cast<uint64_t>(domain));
+      };
+      db->Insert(rel, {v(), v()});
+    }
+  }
+  return db;
+}
+
+const char kChainSql[] =
+    "SELECT * FROM Chain1, Chain2, Chain3, Chain4, Chain5, Chain6, Chain7 "
+    "WHERE k1b = k2 AND k2b = k3 AND k3b = k4 AND k4b = k5 AND k5b = k6 "
+    "AND k6b = k7";
+
+TEST(QueryServer, PathologicalQueryTimesOutAndWorkerSurvives) {
+  auto db = MakeChainDb(/*relations=*/7, /*domain=*/50, /*rows=*/10000,
+                        /*seed=*/11);
+  QueryServer server(db.get(), Workers(1));
+  Timer timer;
+  ServeResponse r = server.Query(kChainSql, /*deadline_seconds=*/0.01);
+  const double elapsed = timer.Seconds();
+  EXPECT_EQ(static_cast<int>(r.status),
+            static_cast<int>(ServeStatus::kTimeout))
+      << r.body;
+  // The cooperative probes fire within microseconds of the deadline;
+  // release builds answer well under 100ms. The bound leaves headroom for
+  // the sanitizer presets, while staying far below the seconds the
+  // evaluation takes uncancelled.
+  EXPECT_LT(elapsed, 1.0);
+  // The worker thread was reclaimed, not wedged: the server still serves.
+  EXPECT_EQ(static_cast<int>(server.Query("SELECT * FROM Chain1").status),
+            static_cast<int>(ServeStatus::kOk));
+  EXPECT_GE(server.stats().timeouts, 1u);
+}
+
+// The same pathological evaluation under a memory budget instead of a
+// deadline: arena growth charges the budget and unwinds to RESOURCE long
+// before the hundreds of MB the query wants.
+TEST(QueryServer, MemoryBudgetStopsPathologicalQuery) {
+  auto db = MakeChainDb(/*relations=*/7, /*domain=*/50, /*rows=*/10000,
+                        /*seed=*/11);
+  ServeOptions opts = Workers(1);
+  opts.max_memory_bytes = size_t{1} << 20;  // 1 MiB; the query wants ~400 MB
+  QueryServer server(db.get(), opts);
+  Timer timer;
+  ServeResponse r = server.Query(kChainSql);
+  EXPECT_EQ(static_cast<int>(r.status),
+            static_cast<int>(ServeStatus::kResource))
+      << r.body;
+  EXPECT_LT(timer.Seconds(), 2.0);  // stopped at ~1 MiB, not after seconds
+  // A query that fits the budget still serves on the same server.
+  EXPECT_EQ(static_cast<int>(server.Query("SELECT * FROM Chain1").status),
+            static_cast<int>(ServeStatus::kOk));
+}
+
+TEST(QueryServer, MemoryBudgetAnswersResource) {
+  auto db = MakeGroceryDb();
+  ServeOptions opts = Workers(1);
+  opts.max_memory_bytes = 64;  // any join's arena growth overflows this
+  QueryServer server(db.get(), opts);
+  ServeResponse r =
+      server.Query("SELECT * FROM Orders, Store WHERE o_item = s_item");
+  EXPECT_EQ(static_cast<int>(r.status),
+            static_cast<int>(ServeStatus::kResource));
+  EXPECT_NE(r.body.find("memory budget"), std::string::npos) << r.body;
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.resource_rejected, 1u);
+  EXPECT_EQ(s.cancelled, 1u);
+  // The budget is per-query, not per-server: the same query under an
+  // unlimited server succeeds.
+  QueryServer unlimited(db.get(), Workers(1));
+  EXPECT_EQ(static_cast<int>(
+                unlimited.Query("SELECT * FROM Orders, Store "
+                                "WHERE o_item = s_item")
+                    .status),
+            static_cast<int>(ServeStatus::kOk));
+}
+
+TEST(QueryServer, MaxResultBytesAnswersResource) {
+  auto db = MakeGroceryDb();
+  ServeOptions opts = Workers(1);
+  opts.max_result_bytes = 16;
+  QueryServer server(db.get(), opts);
+  ServeResponse r =
+      server.Query("SELECT * FROM Orders, Store WHERE o_item = s_item");
+  EXPECT_EQ(static_cast<int>(r.status),
+            static_cast<int>(ServeStatus::kResource));
+  EXPECT_NE(r.body.find("result too large"), std::string::npos) << r.body;
+  EXPECT_EQ(server.stats().resource_rejected, 1u);
+}
+
+TEST(QueryServer, MaxQueryBytesRejectsAtSubmit) {
+  auto db = MakeGroceryDb();
+  ServeOptions opts = Workers(1);
+  opts.max_query_bytes = 32;  // the join below is 50 bytes; a scan is 19
+  QueryServer server(db.get(), opts);
+  ServeResponse r =
+      server.Query("SELECT * FROM Orders, Store WHERE o_item = s_item");
+  EXPECT_EQ(static_cast<int>(r.status),
+            static_cast<int>(ServeStatus::kResource));
+  EXPECT_NE(r.body.find("query too large"), std::string::npos) << r.body;
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.resource_rejected, 1u);
+  EXPECT_EQ(s.received, 1u);
+  EXPECT_EQ(s.executed, 0u);  // rejected before ever touching the queue
+  // Short statements still serve.
+  EXPECT_EQ(static_cast<int>(server.Query("SELECT * FROM Store").status),
+            static_cast<int>(ServeStatus::kOk));
+}
+
+TEST(QueryServer, SubmitExpiredDeadlineCountsSeparately) {
+  auto db = MakeGroceryDb();
+  QueryServer server(db.get(), Workers(1));
+  ServeResponse r = server.Query(
+      "SELECT * FROM Orders, Store WHERE o_item = s_item", 1e-9);
+  EXPECT_EQ(static_cast<int>(r.status),
+            static_cast<int>(ServeStatus::kTimeout));
+  ServerStats s = server.stats();
+  // submit_expired is a subset of timeouts: the request counts under both.
+  EXPECT_EQ(s.submit_expired, 1u);
+  EXPECT_EQ(s.timeouts, 1u);
+  EXPECT_EQ(s.executed, 0u);
 }
 
 }  // namespace

@@ -39,6 +39,20 @@ Rules (each reported as path:line: [rule] message):
                      harnesses in fuzz/ enforce the same contract at
                      runtime; this rule enforces it statically.
 
+  fault-point        FDB_FAULT_POINT site names must be snake_case string
+                     literals and unique — the fault registry
+                     (common/fault.h) keys on them, so a reused name arms
+                     two sites at once. Within-file duplicates are caught
+                     per file; the tree walk also rejects the same name in
+                     two different files.
+
+  bad-alloc-catch    No `catch (std::bad_alloc)` outside src/common/.
+                     Allocation failure is translated exactly once, by
+                     TranslateBadAlloc (common/exec_context.h), into
+                     FdbResourceExhausted so every out-of-memory surfaces
+                     as RESOURCE; an ad-hoc catch would swallow the
+                     resource-governance contract.
+
 Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
 --self-test seeds one violation per rule through the checkers and fails if
 any rule does NOT fire (the armed-probe pattern: prove the lint is live).
@@ -73,6 +87,36 @@ def strip_comments(text):
             out.append(quote)
             while i < n and text[i] != quote:
                 i += 2 if text[i] == '\\' else 1
+            i += 1
+            out.append(quote)
+        else:
+            out.append(c)
+            i += 1
+    return ''.join(out)
+
+
+def strip_only_comments(text):
+    """Removes // and /* */ comments but KEEPS string-literal contents
+    (strip_comments blanks them), for rules that inspect literals."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '/' and i + 1 < n and text[i + 1] == '/':
+            while i < n and text[i] != '\n':
+                i += 1
+        elif c == '/' and i + 1 < n and text[i + 1] == '*':
+            j = text.find('*/', i + 2)
+            j = n if j < 0 else j + 2
+            out.append('\n' * text.count('\n', i, j))
+            i = j
+        elif c in '"\'':
+            quote, i = c, i + 1
+            out.append(quote)
+            start = i
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == '\\' else 1
+            out.append(text[start:min(i, n)])
             i += 1
             out.append(quote)
         else:
@@ -200,6 +244,57 @@ def check_no_abort_on_input(relpath, text):
                   'FdbError, never kill the process')
 
 
+FAULT_POINT_RE = re.compile(r'FDB_FAULT_POINT\(\s*"([^"]*)"\s*\)')
+SNAKE_CASE_RE = re.compile(r'[a-z][a-z0-9_]*')
+
+
+def fault_point_sites(text):
+    """Yields (lineno, name) for each literal FDB_FAULT_POINT call site.
+
+    Scans comment-stripped text with string literals intact (the macro
+    definition in common/fault.h takes a bare parameter, not a literal, so
+    it never matches)."""
+    for lineno, line in enumerate(strip_only_comments(text).splitlines(), 1):
+        for m in FAULT_POINT_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_fault_points(relpath, text):
+    if not relpath.startswith(('src/', 'fuzz/')):
+        return []
+    out = []
+    seen = {}
+    for lineno, name in fault_point_sites(text):
+        if not SNAKE_CASE_RE.fullmatch(name):
+            out.append((lineno,
+                        '[fault-point] site name "%s" is not snake_case '
+                        '(lower-case letters, digits, underscores)' % name))
+        elif name in seen:
+            out.append((lineno,
+                        '[fault-point] site name "%s" reused (first at '
+                        'line %d) — the registry keys on names, so both '
+                        'sites would arm together' % (name, seen[name])))
+        else:
+            seen[name] = lineno
+    return out
+
+
+BAD_ALLOC_CATCH_RE = re.compile(r'catch\s*\(\s*(?:const\s+)?std::bad_alloc\b')
+
+
+def check_bad_alloc_catch(relpath, text):
+    if not relpath.startswith(('src/', 'fuzz/')):
+        return []
+    if relpath.startswith('src/common/'):
+        return []
+    return findings_for(
+        BAD_ALLOC_CATCH_RE, strip_comments(text),
+        lambda m: '[bad-alloc-catch] raw catch of std::bad_alloc outside '
+                  'src/common/ — wrap the allocating region in '
+                  'TranslateBadAlloc (common/exec_context.h) so the '
+                  'failure surfaces as RESOURCE')
+
+
 CHECKERS = [
     check_raw_threading,
     check_guarded_mutex,
@@ -207,6 +302,8 @@ CHECKERS = [
     check_include_guard,
     check_raw_timing,
     check_no_abort_on_input,
+    check_fault_points,
+    check_bad_alloc_catch,
 ]
 
 # --------------------------------------------------------------------------
@@ -216,6 +313,7 @@ CHECKERS = [
 def lint_tree(root):
     findings = []
     nfiles = 0
+    fault_sites = {}  # name -> first (relpath, lineno); cross-file check
     for sub in ('src', 'fuzz'):
         base = root / sub
         if not base.is_dir():
@@ -229,6 +327,14 @@ def lint_tree(root):
             for checker in CHECKERS:
                 for lineno, msg in checker(relpath, text):
                     findings.append('%s:%d: %s' % (relpath, lineno, msg))
+            for lineno, name in fault_point_sites(text):
+                first = fault_sites.setdefault(name, (relpath, lineno))
+                if first[0] != relpath:
+                    findings.append(
+                        '%s:%d: [fault-point] site name "%s" already used '
+                        'at %s:%d — names are registry keys and must be '
+                        'globally unique' % (relpath, lineno, name,
+                                             first[0], first[1]))
     return findings, nfiles
 
 
@@ -251,6 +357,13 @@ SELF_TEST_CASES = [
     (check_no_abort_on_input, 'src/sql/x.cc',
      'void f() { FDB_ASSERT(ok); }\n',
      'void f() { FDB_CHECK_MSG(ok, "bad input"); }\n'),
+    (check_fault_points, 'src/core/x.cc',
+     'void f() {\n  FDB_FAULT_POINT("dup_site");\n'
+     '  FDB_FAULT_POINT("dup_site");\n  FDB_FAULT_POINT("BadName");\n}\n',
+     'void f() { FDB_FAULT_POINT("good_site"); }\n'),
+    (check_bad_alloc_catch, 'src/core/x.cc',
+     'try { f(); } catch (const std::bad_alloc&) { g(); }\n',
+     'TranslateBadAlloc([&] { f(); }, "f");\n'),
 ]
 
 
